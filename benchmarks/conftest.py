@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints it (captured into bench_output.txt by the harness invocation).
+Benchmarks are heavyweight end-to-end simulations, so they run with
+one round / one iteration via ``benchmark.pedantic``.
+
+Set ``CASHMERE_BENCH_FULL=1`` to run the full application x placement
+matrices instead of the representative quick subsets.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("CASHMERE_BENCH_FULL", "") == "1"
+
+#: Representative application subset for quick benchmark runs: one
+#: high-C:C barrier app, the lock app, the flag app, and the two
+#: communication-bound apps where the two-level protocols matter most.
+QUICK_APPS = ("SOR", "Water", "Gauss", "Em3d", "Barnes")
+
+
+@pytest.fixture(scope="session")
+def bench_apps():
+    from repro.experiments.configs import APP_ORDER
+    return APP_ORDER if FULL else QUICK_APPS
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavyweight experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

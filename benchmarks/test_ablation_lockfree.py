@@ -1,0 +1,35 @@
+"""Benchmark E7 — Section 3.3.5 ablation: lock-free protocol structures.
+
+Prints the lock-free vs global-lock comparison for 2L and asserts the
+paper's finding: the applications with heavy directory/write-notice
+traffic (Barnes, Em3d, Ilink) benefit from lock-free structures, while
+quiet applications (SOR) see no significant difference; no application
+is hurt appreciably by lock-freedom.
+"""
+
+from conftest import run_once
+
+from repro.experiments.lockfree import run_lockfree_ablation
+from repro.stats.report import pct_change
+
+
+def test_lockfree_vs_global_locks(benchmark):
+    results = run_once(benchmark, run_lockfree_ablation,
+                       apps=("Barnes", "Em3d", "Ilink", "Water", "SOR"))
+    print()
+    print(results.format())
+
+    gains = {
+        app: pct_change(t["lock_free"], t["locked"])
+        for app, t in results.exec_time_s.items()}
+
+    # Lock-free never loses more than noise.
+    for app, gain in gains.items():
+        assert gain > -2.0, (app, gain)
+
+    # Barnes has by far the most directory accesses + write notices and
+    # must benefit; the quiet SOR must not change materially.
+    assert results.dir_updates["Barnes"] >= results.dir_updates["SOR"]
+    assert gains["Barnes"] > gains["SOR"] - 1.0
+    assert gains["Barnes"] > 0.5
+    assert abs(gains["SOR"]) < 3.0

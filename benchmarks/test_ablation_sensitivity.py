@@ -1,0 +1,21 @@
+"""Extension benchmark — the two-level advantage shrinks as computation
+grows (the paper's computation-to-communication-ratio explanation, made
+quantitative; see repro.experiments.sensitivity)."""
+
+from conftest import run_once
+
+from repro.experiments.sensitivity import run_sensitivity
+
+
+def test_protocol_gap_tracks_compute_density(benchmark):
+    results = run_once(benchmark, run_sensitivity, apps=("Em3d",),
+                       scales=(0.25, 1.0, 4.0))
+    print()
+    print(results.format())
+
+    per_scale = results.ratio["Em3d"]
+    gaps = [per_scale[s]["1LD"] for s in sorted(per_scale)]
+    # More compute per communicated byte -> smaller one-level penalty.
+    assert gaps[0] > gaps[-1], gaps
+    # The two-level advantage exists at every density.
+    assert all(g >= 0.99 for g in gaps)

@@ -1,0 +1,29 @@
+"""Benchmark E6 — Section 3.3.4 ablation: shootdown vs two-way diffing.
+
+Prints the 2L / 2LS-polling / 2LS-interrupt comparison and asserts the
+paper's findings: polled shootdown matches two-way diffing within a few
+percent; interrupt-based shootdown is measurably worse for Water (the
+false-sharing lock application); shootdown counts concentrate in Water.
+"""
+
+from conftest import run_once
+
+from repro.experiments.shootdown import run_shootdown_ablation
+
+
+def test_shootdown_vs_two_way_diffing(benchmark):
+    results = run_once(benchmark, run_shootdown_ablation,
+                       apps=("Water", "SOR", "Em3d"))
+    print()
+    print(results.format())
+
+    for app, times in results.exec_time_s.items():
+        # Polled shootdown ~ two-way diffing (Section 3.3.4).
+        assert abs(times["2LS-poll"] - times["2L"]) / times["2L"] < 0.08, app
+        # Interrupts never beat polling for shootdown delivery.
+        assert times["2LS-intr"] >= times["2LS-poll"] * 0.99, app
+
+    # Shootdowns concentrate in the false-sharing lock application.
+    assert results.shootdowns["Water"]["2LS-poll"] > 0
+    assert results.shootdowns["Water"]["2LS-poll"] >= \
+        results.shootdowns["SOR"]["2LS-poll"]

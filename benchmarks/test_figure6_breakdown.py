@@ -1,0 +1,39 @@
+"""Benchmark E4 — regenerate Figure 6 (execution-time breakdown).
+
+Prints, for each application, the User / Protocol / Polling / Comm&Wait /
+Write-Doubling percentages normalized to the 2L total, and asserts the
+structural properties: write-doubling time exists only under 1L, the 2L
+bars sum to 100%, and the one-level protocols spend relatively more
+non-user time than 2L for the communication-bound applications.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_figure6_time_breakdown(benchmark, bench_apps):
+    results = run_once(benchmark, run_figure6, apps=bench_apps)
+    print()
+    print(results.format())
+
+    for app in bench_apps:
+        per_proto = results.breakdown[app]
+        # Normalization: 2L's buckets sum to exactly 100%.
+        assert sum(per_proto["2L"].values()) == pytest.approx(100.0)
+        # Write doubling is charged only by 1L.
+        for proto in ("2L", "2LS", "1LD"):
+            assert per_proto[proto]["write_double"] == 0.0
+        assert per_proto["1L"]["write_double"] > 0.0
+        # Every protocol executes the same user computation; its absolute
+        # time is protocol-independent, so the normalized User components
+        # agree (polling too, which is proportional to yields).
+        users = [per_proto[p]["user"] for p in per_proto]
+        assert max(users) - min(users) < 12.0, app
+
+    # The communication-bound applications lose the most to the one-level
+    # protocols: their normalized totals exceed 2L's appreciably.
+    for app in set(bench_apps) & {"Em3d", "Gauss", "Barnes"}:
+        total_1ld = sum(results.breakdown[app]["1LD"].values())
+        assert total_1ld > 110.0, (app, total_1ld)

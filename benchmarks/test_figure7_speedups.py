@@ -1,0 +1,45 @@
+"""Benchmark E5 — regenerate Figure 7 (speedups across placements).
+
+Runs the placement ladder (quick subset by default: 4:1, 8:4, 32:4; set
+CASHMERE_BENCH_FULL=1 for all nine placements) per application and
+protocol, prints the speedup tables, and asserts the headline findings:
+
+* Cashmere-2L beats 1LD at 32 processors for every application, with the
+  big wins on the communication-bound ones (Gauss, Em3d, Barnes);
+* 2L and 2LS perform essentially identically;
+* speedups grow with processor count under the two-level protocols.
+"""
+
+from conftest import FULL, run_once
+
+from repro.experiments.configs import PLACEMENT_ORDER, QUICK_PLACEMENTS
+from repro.experiments.figure7 import run_figure7
+
+PLACEMENTS = PLACEMENT_ORDER if FULL else QUICK_PLACEMENTS
+
+
+def test_figure7_speedups(benchmark, bench_apps):
+    results = run_once(benchmark, run_figure7, apps=bench_apps,
+                       placements=PLACEMENTS)
+    print()
+    print(results.format())
+
+    for app in bench_apps:
+        sp = results.speedup[app]
+        at32 = {proto: sp[proto]["32:4"] for proto in sp}
+        # The two-level protocol is at least as fast as one-level diffing
+        # at 32 processors, for every application (Section 3.3.2).
+        assert at32["2L"] >= at32["1LD"] * 0.97, (app, at32)
+        # 2L and 2LS are within a few percent of each other.
+        assert abs(at32["2L"] - at32["2LS"]) / at32["2L"] < 0.10, app
+        # Parallel execution beats sequential at 32 processors.
+        assert at32["2L"] > 1.0, (app, at32["2L"])
+        # Two-level speedup grows from 4 to 32 processors.
+        assert at32["2L"] > sp["2L"]["4:1"], app
+
+    # The communication-bound applications gain the most from two-level
+    # coherence (paper: 22-46% over 1LD at 32 processors).
+    for app in set(bench_apps) & {"Gauss", "Em3d", "Barnes"}:
+        gain = results.speedup[app]["2L"]["32:4"] \
+            / results.speedup[app]["1LD"]["32:4"]
+        assert gain > 1.10, (app, gain)

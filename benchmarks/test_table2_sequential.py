@@ -1,0 +1,31 @@
+"""Benchmark E2 — regenerate Table 2 (sequential baselines).
+
+Runs every application's uninstrumented sequential execution at the
+scaled problem sizes and prints the table with the paper's values
+alongside. Asserts that the relative ordering of the heavyweight
+applications is preserved (Water and TSP are the long runs in the paper;
+Em3d is the shortest).
+"""
+
+from conftest import run_once
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2_sequential_times(benchmark):
+    rows = run_once(benchmark, run_table2)
+    print()
+    print(format_table2(rows))
+
+    by_name = {r.app: r for r in rows}
+    assert set(by_name) == {"SOR", "LU", "Water", "TSP", "Gauss", "Ilink",
+                            "Em3d", "Barnes"}
+    for row in rows:
+        assert row.seq_time_s > 0
+        assert row.shared_kbytes > 0
+
+    # The compute-heavy applications dominate the scaled baselines just
+    # as they dominate Table 2.
+    assert by_name["Water"].seq_time_s > by_name["Em3d"].seq_time_s
+    assert by_name["TSP"].seq_time_s > by_name["Em3d"].seq_time_s
+    assert by_name["Gauss"].seq_time_s > by_name["Em3d"].seq_time_s

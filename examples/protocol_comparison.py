@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare the four Cashmere protocols on one application.
+
+Reproduces, for a single application, the comparison at the heart of the
+paper: two-level (2L, 2LS) versus one-level (1LD, 1L) coherence on the
+same clustered hardware. Prints execution time, speedup, and the protocol
+counters that explain the differences — page transfers and data volume
+shrink under the two-level protocols because processors of a node share
+one copy of each page.
+
+Usage:  python examples/protocol_comparison.py [APP] [NODES] [PROCS/NODE]
+"""
+
+import sys
+
+from repro import MachineConfig, run_app, run_sequential
+from repro.apps import ALL_APPS, make_app
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "Gauss"
+    nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    ppn = int(sys.argv[3]) if len(sys.argv) > 3 else 4
+    if app_name not in ALL_APPS:
+        raise SystemExit(f"unknown app {app_name!r}")
+    config = MachineConfig(nodes=nodes, procs_per_node=ppn, page_bytes=512)
+
+    app = make_app(app_name)
+    params = app.default_params()
+    _, seq_us = run_sequential(app, params, config)
+    print(f"{app.name} on {nodes}x{ppn} processors "
+          f"(sequential {seq_us / 1e6:.3f} s)\n")
+
+    header = (f"{'':14s}{'2L':>10s}{'2LS':>10s}{'1LD':>10s}{'1L':>10s}")
+    print(header)
+    print("-" * len(header))
+
+    rows: dict[str, list] = {}
+    fields = ["exec_time_s", "page_transfers", "data_mbytes",
+              "write_notices", "directory_updates", "excl_transitions",
+              "twin_creations", "shootdowns"]
+    speedups = []
+    for protocol in ("2L", "2LS", "1LD", "1L"):
+        run = run_app(make_app(app_name), params, config, protocol)
+        table = run.stats.table3_row()
+        speedups.append(seq_us / run.exec_time_us)
+        for field in fields:
+            rows.setdefault(field, []).append(table[field])
+
+    print(f"{'speedup':14s}" + "".join(f"{s:>10.2f}" for s in speedups))
+    for field in fields:
+        vals = rows[field]
+        cells = "".join(
+            f"{v:>10.3f}" if isinstance(v, float) else f"{v:>10d}"
+            for v in vals)
+        print(f"{field:14s}{cells}")
+
+    base, best = rows["exec_time_s"][2], rows["exec_time_s"][0]
+    gain = 100.0 * (base - best) / base
+    print(f"\nCashmere-2L vs 1LD: {gain:+.1f}% execution time "
+          f"({'faster' if gain > 0 else 'slower'})")
+
+
+if __name__ == "__main__":
+    main()

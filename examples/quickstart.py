@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: run one benchmark on the simulated cluster and verify it.
+
+Runs Red-Black SOR under the Cashmere-2L protocol on a 4-node x
+2-processor cluster, checks the parallel result against the
+uninstrumented sequential execution, and prints the speedup and the
+protocol activity behind it.
+
+Usage:  python examples/quickstart.py [APP]
+"""
+
+import sys
+
+from repro import MachineConfig, run_and_verify
+from repro.apps import ALL_APPS, make_app
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "SOR"
+    if app_name not in ALL_APPS:
+        raise SystemExit(f"unknown app {app_name!r}; "
+                         f"choose from {list(ALL_APPS)}")
+    app = make_app(app_name)
+    config = MachineConfig(nodes=4, procs_per_node=2, page_bytes=512)
+
+    print(f"Running {app.name} ({app.paper_problem_size} in the paper) "
+          f"on {config.nodes} nodes x {config.procs_per_node} processors "
+          f"under Cashmere-2L...")
+    cmp = run_and_verify(app, app.default_params(), config, protocol="2L")
+
+    print(f"\n  sequential time : {cmp.seq_time_us / 1e6:8.3f} s (simulated)")
+    print(f"  parallel time   : {cmp.run.exec_time_us / 1e6:8.3f} s "
+          f"(simulated)")
+    print(f"  speedup         : {cmp.speedup:8.2f} on "
+          f"{config.total_procs} processors")
+    print(f"  verified        : {cmp.verified} "
+          f"(max deviation {cmp.max_error:.2e})")
+
+    print("\nProtocol activity (aggregated over all processors):")
+    for key, value in cmp.run.stats.table3_row().items():
+        print(f"  {key:20s} {value:>12.6g}")
+
+    fracs = cmp.run.stats.breakdown_fractions()
+    print("\nExecution time breakdown:")
+    for bucket, frac in fracs.items():
+        print(f"  {bucket:14s} {100 * frac:5.1f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Ilink: genetic linkage analysis (FASTLINK 2.3P) — Section 3.2.
+
+The real Ilink locates disease genes by iterating over a pool of sparse
+arrays of genotype probabilities. Its *communication structure* — which
+is what the DSM evaluation exercises — is master-slave: the master
+updates the probability pool (one-to-all), all processors then update the
+nonzero elements assigned to them round-robin for load balance, and the
+master gathers and renormalizes the results (all-to-one). Scalability is
+limited by the inherent serial component and load imbalance.
+
+Per the substitution note in DESIGN.md, the genetic-likelihood inner math
+is replaced by a deterministic sparse update with the same shape: a
+round-robin scatter of nonzero elements (which interleaves every
+processor's writes through every page of the pool — the multi-writer
+pattern Cashmere's diffs must merge) between one-to-all and all-to-one
+phases. The paper ran the CLP input (15 Mbytes, 899 s sequential).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Application
+
+#: CPU cost per nonzero element update.
+_ELEM_US = 780.0
+#: Cache-miss bytes per element (sparse, pointer-chasing access).
+_ELEM_MEM = 52.0
+#: Serial (master) cost per element per iteration.
+_SERIAL_US = 0.01
+
+
+class Ilink(Application):
+    name = "Ilink"
+    paper_problem_size = "CLP (15 Mbytes)"
+    paper_seq_time_s = 899.0
+    write_double_us = 11.0
+    sync_style = "barriers"
+
+    def default_params(self) -> dict:
+        return {"elements": 1536, "iters": 6, "density": 0.6}
+
+    def small_params(self) -> dict:
+        return {"elements": 192, "iters": 2, "density": 0.6}
+
+    def declare(self, segment, params: dict) -> None:
+        n = params["elements"]
+        segment.alloc("probs", n)     # genotype probability pool
+        segment.alloc("update", n)    # per-iteration updates
+        segment.alloc("norm", 1)      # the master's gathered normalizer
+
+    @staticmethod
+    def _nonzeros(params: dict) -> np.ndarray:
+        n = params["elements"]
+        keep = int(params["density"] * 97)
+        return np.array([i for i in range(n) if (i * 31 + 7) % 97 < keep])
+
+    def worker(self, env, params: dict):
+        n, iters = params["elements"], params["iters"]
+        probs, update = env.arr("probs"), env.arr("update")
+        norm = env.arr("norm")
+        me, nprocs = env.rank, env.nprocs
+        nonzeros = self._nonzeros(params)
+        mine = nonzeros[me::nprocs]  # round-robin assignment
+
+        if me == 0:
+            env.set_block(probs, 0, 1.0 / (1.0 + np.arange(n) % 29))
+            env.set(norm, 0, 1.0)
+            yield env.compute(n * 0.02, n * 8 * 0.2)
+        env.end_init()
+        yield from env.barrier()
+
+        for _ in range(iters):
+            # Master: serial recombination update of the pool (one-to-all).
+            if me == 0:
+                cur = env.get_block(probs, 0, n)
+                scale = env.get(norm, 0)
+                env.set_block(probs, 0, cur * (0.5 + 0.5 / max(scale, 1e-12)))
+                yield env.compute(n * _SERIAL_US, n * 16)
+            yield from env.barrier()
+
+            # Slaves (and master): update assigned nonzero elements.
+            if len(mine):
+                for i in mine:
+                    i = int(i)
+                    a = env.get(probs, i)
+                    b = env.get(probs, (i * 7 + 3) % n)
+                    c = env.get(probs, (i * 13 + 11) % n)
+                    env.set(update, i, a * (0.4 * b + 0.6 * c) + 1e-6)
+                yield env.compute(len(mine) * _ELEM_US,
+                                  len(mine) * _ELEM_MEM)
+            yield from env.barrier()
+
+            # Master: gather and renormalize (all-to-one).
+            if me == 0:
+                upd = env.get_block(update, 0, n)
+                total = float(upd[nonzeros].sum())
+                env.set(norm, 0, total)
+                env.set_block(probs, 0, upd + 1e-9)
+                yield env.compute(n * _SERIAL_US, n * 16)
+            yield from env.barrier()
+
+    def result_arrays(self, params: dict):
+        return ["probs", "norm"]

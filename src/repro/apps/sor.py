@@ -1,0 +1,89 @@
+"""SOR: Red-Black Successive Over-Relaxation (Section 3.2).
+
+Solves a Laplace-like relaxation on a 2-D grid stored as separate red and
+black arrays (each ``rows × cols/2``). The arrays are divided into bands
+of contiguous rows, one band per processor; communication happens across
+band boundaries, and processors synchronize with barriers after each
+half-sweep. The paper ran 3072×4096 (50 Mbytes, 195 s sequential); we run
+a scaled-down grid with the same structure.
+
+SOR has a high computation-to-communication ratio but is memory-bound
+(its data set does not fit in the second-level cache), which is why
+increasing the number of processors per node *hurts*: capacity-miss
+traffic saturates the node's shared bus (Section 3.3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Application, split_range
+
+#: CPU cost per grid element update (4 flops on a 233 MHz Alpha plus loop
+#: overhead).
+_FLOP_US = 30.0
+#: Cache-miss bytes per element update (5 streams of 8-byte words; the
+#: data set exceeds the 1 Mbyte board cache, so most traffic misses).
+_MEM_BYTES = 1150.0
+
+
+class SOR(Application):
+    name = "SOR"
+    paper_problem_size = "3072x4096 (50 Mbytes)"
+    paper_seq_time_s = 195.0
+    write_double_us = 47.0
+    sync_style = "barriers"
+
+    def default_params(self) -> dict:
+        return {"rows": 130, "cols": 64, "iters": 10}
+
+    def small_params(self) -> dict:
+        return {"rows": 18, "cols": 16, "iters": 3}
+
+    def declare(self, segment, params: dict) -> None:
+        rows, halfc = params["rows"], params["cols"] // 2
+        segment.alloc("red", rows * halfc)
+        segment.alloc("black", rows * halfc)
+
+    def worker(self, env, params: dict):
+        rows, halfc = params["rows"], params["cols"] // 2
+        iters = params["iters"]
+        red, black = env.arr("red"), env.arr("black")
+
+        # Initialization (rank 0): fixed boundary rows.
+        if env.rank == 0:
+            env.set_block(red, 0, np.full(halfc, 1.0))
+            env.set_block(black, 0, np.full(halfc, 1.0))
+            env.set_block(red, (rows - 1) * halfc, np.full(halfc, 2.0))
+            env.set_block(black, (rows - 1) * halfc, np.full(halfc, 2.0))
+            yield env.compute(2.0 * halfc * _FLOP_US, 4 * 8 * halfc)
+        env.end_init()
+        yield from env.barrier()
+
+        lo, hi = split_range(rows - 2, env.nprocs, env.rank)
+        my_rows = range(1 + lo, 1 + hi)
+        row_cpu = halfc * _FLOP_US
+        row_mem = halfc * _MEM_BYTES
+
+        for _ in range(iters):
+            for r in my_rows:
+                up = env.get_block(black, (r - 1) * halfc, r * halfc)
+                mid = env.get_block(black, r * halfc, (r + 1) * halfc)
+                down = env.get_block(black, (r + 1) * halfc, (r + 2) * halfc)
+                left = np.concatenate(([mid[0]], mid[:-1]))
+                env.set_block(red, r * halfc,
+                              0.25 * (up + mid + down + left))
+                yield env.compute(row_cpu, row_mem)
+            yield from env.barrier()
+            for r in my_rows:
+                up = env.get_block(red, (r - 1) * halfc, r * halfc)
+                mid = env.get_block(red, r * halfc, (r + 1) * halfc)
+                down = env.get_block(red, (r + 1) * halfc, (r + 2) * halfc)
+                right = np.concatenate((mid[1:], [mid[-1]]))
+                env.set_block(black, r * halfc,
+                              0.25 * (up + mid + down + right))
+                yield env.compute(row_cpu, row_mem)
+            yield from env.barrier()
+
+    def result_arrays(self, params: dict):
+        return ["red", "black"]

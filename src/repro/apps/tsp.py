@@ -1,0 +1,252 @@
+"""TSP: branch-and-bound traveling salesman (Section 3.2).
+
+Workers repeatedly pop the most promising partial tour from a shared
+priority queue (protected by one lock), extend it by one city, and either
+prune it against the best complete tour so far (protected by a second
+lock) or push the extensions back. The earlier some processor stumbles on
+the shortest path, the faster the rest of the search space prunes, so
+execution is *non-deterministic* — the paper calls this out, and it is
+why TSP is verified on the optimal tour *cost* rather than on exact
+memory contents. The paper ran 17 cities (1 Mbyte, 4029 s sequential).
+
+Shared-memory layout: the distance matrix, a binary heap of
+(bound, record-slot) entries, a record pool with a free stack, the
+best-tour record, and two counters — all word-encoded in shared arrays,
+so queue operations genuinely exercise lock-protected migratory pages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Application
+
+#: CPU cost of expanding one partial tour (bound computation etc.).
+_EXPAND_US = 240000.0
+#: Heap ops cost per level.
+_HEAP_US = 0.8
+
+_QLOCK = 0   # protects heap, free stack, outstanding counter
+_BLOCK = 1   # protects the best record
+
+
+def _distances(cities: int) -> np.ndarray:
+    """Deterministic pseudo-random symmetric distance matrix."""
+    d = np.zeros((cities, cities))
+    state = 12345
+    for i in range(cities):
+        for j in range(i + 1, cities):
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            d[i, j] = d[j, i] = 1.0 + (state % 1000) / 100.0
+    return d
+
+
+class TSP(Application):
+    name = "TSP"
+    paper_problem_size = "17 cities (1 Mbyte)"
+    paper_seq_time_s = 4029.0
+    write_double_us = 18.0
+    sync_style = "locks"
+
+    def default_params(self) -> dict:
+        return {"cities": 9, "queue_slots": 2048}
+
+    def small_params(self) -> dict:
+        return {"cities": 8, "queue_slots": 1024}
+
+    def flags_needed(self, params: dict) -> dict[str, int]:
+        return {"done": 1}
+
+    def declare(self, segment, params: dict) -> None:
+        c, q = params["cities"], params["queue_slots"]
+        self._rec_words = c + 2  # cost, length, path[0..c-1]
+        segment.alloc("dist", c * c)
+        segment.alloc("heap", 2 * q)       # (bound, slot) pairs
+        segment.alloc("records", q * self._rec_words)
+        segment.alloc("freelist", q)
+        segment.alloc("meta", 4)           # heap_size, free_top, outstanding
+        segment.alloc("best", c + 1)       # cost, path
+
+    # --- shared-structure helpers (caller holds _QLOCK) -----------------------
+
+    def _heap_push(self, env, heap, meta, bound, slot):
+        size = int(env.get(meta, 0))
+        i = size
+        env.set(heap, 2 * i, bound)
+        env.set(heap, 2 * i + 1, slot)
+        while i > 0:
+            parent = (i - 1) // 2
+            if env.get(heap, 2 * parent) <= env.get(heap, 2 * i):
+                break
+            for w in range(2):
+                a = env.get(heap, 2 * parent + w)
+                b = env.get(heap, 2 * i + w)
+                env.set(heap, 2 * parent + w, b)
+                env.set(heap, 2 * i + w, a)
+            i = parent
+        env.set(meta, 0, size + 1)
+        return size + 1
+
+    def _heap_pop(self, env, heap, meta):
+        size = int(env.get(meta, 0))
+        bound = env.get(heap, 0)
+        slot = int(env.get(heap, 1))
+        size -= 1
+        env.set(meta, 0, size)
+        if size > 0:
+            env.set(heap, 0, env.get(heap, 2 * size))
+            env.set(heap, 1, env.get(heap, 2 * size + 1))
+            i = 0
+            while True:
+                l, r = 2 * i + 1, 2 * i + 2
+                smallest = i
+                if l < size and env.get(heap, 2 * l) < env.get(heap, 2 * smallest):
+                    smallest = l
+                if r < size and env.get(heap, 2 * r) < env.get(heap, 2 * smallest):
+                    smallest = r
+                if smallest == i:
+                    break
+                for w in range(2):
+                    a = env.get(heap, 2 * smallest + w)
+                    b = env.get(heap, 2 * i + w)
+                    env.set(heap, 2 * smallest + w, b)
+                    env.set(heap, 2 * i + w, a)
+                i = smallest
+        return bound, slot
+
+    def _alloc_slot(self, env, freelist, meta):
+        top = int(env.get(meta, 1)) - 1
+        slot = int(env.get(freelist, top))
+        env.set(meta, 1, top)
+        return slot
+
+    def _free_slot(self, env, freelist, meta, slot):
+        top = int(env.get(meta, 1))
+        env.set(freelist, top, slot)
+        env.set(meta, 1, top + 1)
+
+    # --- worker ---------------------------------------------------------------
+
+    def worker(self, env, params: dict):
+        c, q = params["cities"], params["queue_slots"]
+        rw = self._rec_words
+        dist_arr = env.arr("dist")
+        heap, records = env.arr("heap"), env.arr("records")
+        freelist, meta, best = env.arr("freelist"), env.arr("meta"), \
+            env.arr("best")
+
+        if env.rank == 0:
+            d = _distances(c)
+            env.set_block(dist_arr, 0, d.reshape(-1))
+            env.set_block(freelist, 0, np.arange(q, dtype=float))
+            env.set(meta, 1, q)
+            env.set(best, 0, 1e18)
+            # Seed: the tour starting (and implicitly ending) at city 0.
+            slot = self._alloc_slot(env, freelist, meta)
+            rec = np.zeros(rw)
+            rec[0] = 0.0   # cost so far
+            rec[1] = 1.0   # path length
+            rec[2] = 0.0   # path[0] = city 0
+            env.set_block(records, slot * rw, rec)
+            self._heap_push(env, heap, meta, 0.0, slot)
+            env.set(meta, 2, 0)  # outstanding expansions
+            yield env.compute(c * c * 0.05, c * c * 8)
+        env.end_init()
+        yield from env.barrier()
+
+        dist = env.get_block(dist_arr, 0, c * c).reshape(c, c)
+        min_out = dist.copy()
+        np.fill_diagonal(min_out, np.inf)
+        min_edge = min_out.min(axis=1)
+
+        # Cached view of the best tour cost. The true value only ever
+        # decreases, so a stale (higher) cached bound prunes *less* than
+        # the truth — always safe — and we refresh it under the lock only
+        # periodically instead of once per expansion.
+        best_cost = 1e18
+        expansions = 0
+
+        while True:
+            if env.flag_peek("done", 0):
+                break
+            yield from env.acquire(_QLOCK)
+            size = int(env.get(meta, 0))
+            if size == 0:
+                outstanding = int(env.get(meta, 2))
+                env.release(_QLOCK)
+                if outstanding == 0:
+                    env.flag_set("done", 0)
+                    break
+                # Idle: another worker is still expanding. Poll gently —
+                # the queue refills at expansion granularity, not in
+                # microseconds.
+                yield env.compute(2500.0)
+                continue
+            bound, slot = self._heap_pop(env, heap, meta)
+            env.set(meta, 2, int(env.get(meta, 2)) + 1)
+            rec = env.get_block(records, slot * rw, (slot + 1) * rw).copy()
+            self._free_slot(env, freelist, meta, slot)
+            yield env.compute(_HEAP_US * max(1, size).bit_length())
+            env.release(_QLOCK)
+
+            cost, length = rec[0], int(rec[1])
+            path = rec[2:2 + length].astype(int)
+            visited = set(path.tolist())
+            last = path[-1]
+
+            expansions += 1
+            if expansions % 8 == 1:
+                yield from env.acquire(_BLOCK)
+                best_cost = env.get(best, 0)
+                env.release(_BLOCK)
+
+            pushes = []
+            if bound < best_cost:
+                for city in range(c):
+                    if city in visited:
+                        continue
+                    new_cost = cost + dist[last, city]
+                    remaining = c - length - 1
+                    lower = new_cost + dist[city, 0] if remaining == 0 else \
+                        new_cost + min_edge[city] * (remaining + 1)
+                    if lower >= best_cost:
+                        continue
+                    if remaining == 0:
+                        total = new_cost + dist[city, 0]
+                        yield from env.acquire(_BLOCK)
+                        current = env.get(best, 0)
+                        if total < current:
+                            env.set(best, 0, total)
+                            full = np.zeros(c)
+                            full[:length] = path
+                            full[length] = city
+                            env.set_block(best, 1, full)
+                        best_cost = min(best_cost, current, total)
+                        env.release(_BLOCK)
+                    else:
+                        new_rec = np.zeros(rw)
+                        new_rec[0] = new_cost
+                        new_rec[1] = length + 1
+                        new_rec[2:2 + length] = path
+                        new_rec[2 + length] = city
+                        pushes.append((lower, new_rec))
+            yield env.compute(_EXPAND_US, rw * 8.0)
+
+            yield from env.acquire(_QLOCK)
+            for lower, new_rec in pushes:
+                nslot = self._alloc_slot(env, freelist, meta)
+                env.set_block(records, nslot * rw, new_rec)
+                self._heap_push(env, heap, meta, lower, nslot)
+            env.set(meta, 2, int(env.get(meta, 2)) - 1)
+            env.release(_QLOCK)
+            yield env.compute(_HEAP_US * max(1, len(pushes)))
+
+    def result_arrays(self, params: dict):
+        return ["best"]
+
+    def results_equal(self, name, expected, actual, rtol, atol):
+        # Non-deterministic search: only the optimal cost must agree.
+        return bool(np.isclose(expected[0], actual[0]))
+
+    def result_error(self, name, expected, actual):
+        return float(abs(expected[0] - actual[0]))

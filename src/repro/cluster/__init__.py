@@ -1,0 +1,5 @@
+"""Simulated cluster hardware: nodes, processors, buses."""
+
+from .machine import Cluster, Node, Processor
+
+__all__ = ["Cluster", "Node", "Processor"]

@@ -1,0 +1,156 @@
+"""The simulated cluster: nodes, processors, and the node memory bus.
+
+A :class:`Cluster` instantiates the topology described by a
+:class:`~repro.config.MachineConfig`: ``nodes`` SMP nodes of
+``procs_per_node`` processors, each node with a shared memory bus
+(a serialized resource — the AlphaServer 2100's single bus — whose
+contention produces the negative clustering effects of Section 3.3.3),
+all connected by one :class:`~repro.memchannel.MemoryChannel`.
+
+:class:`Processor` is the execution context simulated processes run on:
+it owns the local clock, the Figure-6 time buckets, the Table-3 event
+counters, and the polling hook through which explicit requests are
+serviced (Section 2.3, Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..config import MachineConfig
+from ..memchannel import MemoryChannel
+from ..sim.engine import Condition, SerialResource, Simulator
+from ..stats.counters import ProcStats
+from ..sim.process import ExecutionContext
+
+
+class Node:
+    """One SMP node: processors, a shared bus, and a request queue.
+
+    The request queue models the per-node multi-bin request buffers of
+    Figure 2; delivery is by polling (processors drain the queue at yield
+    points) or by interrupt, per the machine configuration.
+    """
+
+    def __init__(self, cluster: "Cluster", node_id: int) -> None:
+        self.cluster = cluster
+        self.id = node_id
+        self.processors: list[Processor] = []
+        self.bus = SerialResource(name=f"bus[{node_id}]")
+        #: FIFO of (target_proc_id_or_None, callable(handler_proc) -> None).
+        self.request_queue: list[tuple[int | None, Callable]] = []
+        self.request_cond = Condition(cluster.sim, name=f"requests[{node_id}]")
+        #: Request-service timeline: handlers run one at a time per node
+        #: (this serialization is the one-level protocols' LU bottleneck).
+        self.service = SerialResource(name=f"service[{node_id}]")
+
+    def post_request(self, at: float, handler: Callable,
+                     target_proc: int | None = None) -> None:
+        """Enqueue an explicit request arriving at time ``at``.
+
+        Waiting processors are woken so they can poll it; running
+        processors will find it at their next yield point.
+        """
+        self.request_queue.append((target_proc, handler))
+        self.request_cond.fire(at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.id} procs={len(self.processors)}>"
+
+
+class Processor(ExecutionContext):
+    """One simulated CPU.
+
+    ``clock`` is its local time in microseconds. ``charge`` advances the
+    clock into a named Figure-6 bucket. ``run_compute`` additionally books
+    capacity-miss traffic on the node bus (contended) and pays the polling
+    check inserted at loop back-edges.
+    """
+
+    def __init__(self, node: Node, local_id: int, global_id: int) -> None:
+        self.node = node
+        self.cluster = node.cluster
+        self.local_id = local_id
+        self.global_id = global_id
+        self.clock = 0.0
+        self.stats = ProcStats()
+        #: Installed by the protocol runtime: called with (proc, handler)
+        #: to run one polled request. None before a protocol attaches.
+        self.request_runner: Callable[["Processor", Callable], None] | None = None
+
+    # --- ExecutionContext ---------------------------------------------------
+
+    def charge(self, us: float, bucket: str) -> None:
+        if us <= 0:
+            return
+        self.clock += us
+        self.stats.charge(us, bucket)
+
+    def run_compute(self, cpu_us: float, mem_bytes: float) -> None:
+        costs = self.cluster.config.costs
+        self.charge(cpu_us, "user")
+        if mem_bytes > 0:
+            service = mem_bytes / costs.node_bus_bandwidth
+            begin, end = self.node.bus.acquire(self.clock, service)
+            # Queueing delay and the transfer itself both stall the CPU;
+            # the paper counts cache-miss time as User time.
+            self.charge(end - self.clock, "user")
+        if self.cluster.config.polling:
+            self.charge(costs.poll_check, "polling")
+
+    def service_requests(self) -> None:
+        """Drain the node's request queue (the polling handler of Figure 5)."""
+        if self.request_runner is None or not self.cluster.config.polling:
+            return
+        queue = self.node.request_queue
+        index = 0
+        while index < len(queue):
+            target, handler = queue[index]
+            if target is None or target == self.global_id:
+                queue.pop(index)
+                self.request_runner(self, handler)
+            else:
+                index += 1
+
+    def poll_conditions(self) -> Sequence[Condition]:
+        if self.cluster.config.polling:
+            return (self.node.request_cond,)
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<P{self.global_id} (node {self.node.id}.{self.local_id})>"
+
+
+class Cluster:
+    """The full machine: nodes × processors plus the Memory Channel."""
+
+    def __init__(self, config: MachineConfig, sim: Simulator | None = None) -> None:
+        self.config = config
+        self.sim = sim or Simulator()
+        self.mc = MemoryChannel(self.sim, config)
+        self.nodes: list[Node] = []
+        self.processors: list[Processor] = []
+        for node_id in range(config.nodes):
+            node = Node(self, node_id)
+            self.nodes.append(node)
+            for local_id in range(config.procs_per_node):
+                proc = Processor(node, local_id, len(self.processors))
+                node.processors.append(proc)
+                self.processors.append(proc)
+
+    @property
+    def num_procs(self) -> int:
+        return len(self.processors)
+
+    def processor(self, global_id: int) -> Processor:
+        return self.processors[global_id]
+
+    def node_of_proc(self, global_id: int) -> Node:
+        return self.processors[global_id].node
+
+    def max_clock(self) -> float:
+        return max(p.clock for p in self.processors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Cluster {self.config.nodes}x{self.config.procs_per_node} "
+                f"page={self.config.page_bytes}B>")

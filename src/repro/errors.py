@@ -1,0 +1,71 @@
+"""Exception hierarchy for the Cashmere-2L reproduction.
+
+All library errors derive from :class:`CashmereError` so callers can catch
+one base class. Specific subclasses distinguish configuration mistakes,
+protocol invariant violations, and simulation engine misuse.
+"""
+
+from __future__ import annotations
+
+
+class CashmereError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(CashmereError):
+    """An invalid machine, protocol, or application configuration."""
+
+
+class SimulationError(CashmereError):
+    """Misuse of the discrete-event simulation engine.
+
+    Examples: scheduling an event in the past, running a finished
+    simulator, or a simulated process yielding an unknown instruction.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The simulation stalled with live processes and no pending events."""
+
+
+class ProtocolError(CashmereError):
+    """A coherence-protocol invariant was violated.
+
+    These indicate bugs in protocol code (or corrupted meta-data), never
+    user error: e.g. a flush of a page without a twin, a directory entry
+    claiming an exclusive holder on two nodes, or an incoming diff that
+    overlaps local modifications in a data-race-free program.
+    """
+
+
+class MemoryChannelError(CashmereError):
+    """Invalid use of the simulated Memory Channel.
+
+    Examples: reading a transmit-only mapping, writing a receive-only
+    mapping, exceeding the mapping table, or misaligned sub-word writes.
+    """
+
+
+class ProtectionFault(CashmereError):
+    """An access violated page permissions and no handler accepted it.
+
+    The DSM protocols install fault handlers that normally consume these;
+    seeing one escape means shared memory was accessed outside a running
+    protocol (for example, from non-simulated code).
+    """
+
+    def __init__(self, processor: object, page: int, write: bool) -> None:
+        kind = "write" if write else "read"
+        super().__init__(f"unhandled {kind} fault on page {page} by {processor}")
+        self.processor = processor
+        self.page = page
+        self.write = write
+
+
+class DataRaceError(CashmereError):
+    """The runtime detected an application data race.
+
+    Cashmere requires data-race-free applications; the simulator checks
+    the invariant the protocol relies on (incoming diffs never overlap
+    local dirty words) and raises this when an application breaks it.
+    """

@@ -1,0 +1,30 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+See DESIGN.md's per-experiment index: table1/table2/table3 and
+figure6/figure7 map one-to-one to the paper's artifacts; shootdown and
+lockfree reproduce the Section 3.3.4 / 3.3.5 ablations.
+"""
+
+from .configs import (APP_ORDER, FULL_PLATFORM, PLACEMENT_ORDER,
+                      PROTOCOL_ORDER, QUICK_PLACEMENTS, experiment_config)
+from .figure6 import Figure6Results, run_figure6
+from .figure7 import Figure7Results, run_figure7
+from .lockfree import LockFreeResults, run_lockfree_ablation
+from .polling import PollingResults, run_polling_ablation
+from .sensitivity import SensitivityResults, run_sensitivity
+from .shootdown import ShootdownResults, run_shootdown_ablation
+from .table1 import PAPER_TABLE1, Table1Results, run_table1
+from .table2 import Table2Row, format_table2, run_table2
+from .table3 import Table3Results, run_table3
+
+__all__ = [
+    "APP_ORDER", "PROTOCOL_ORDER", "PLACEMENT_ORDER", "QUICK_PLACEMENTS",
+    "FULL_PLATFORM", "experiment_config",
+    "run_table1", "run_table2", "run_table3", "run_figure6", "run_figure7",
+    "run_shootdown_ablation", "run_lockfree_ablation", "run_sensitivity",
+    "run_polling_ablation",
+    "Table1Results", "Table2Row", "Table3Results", "Figure6Results",
+    "Figure7Results", "ShootdownResults", "LockFreeResults",
+    "SensitivityResults", "PollingResults",
+    "format_table2", "PAPER_TABLE1",
+]

@@ -1,0 +1,94 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage (installed as ``cashmere-repro``)::
+
+    cashmere-repro table1
+    cashmere-repro table2
+    cashmere-repro table3  [APP ...]
+    cashmere-repro figure6 [APP ...]
+    cashmere-repro figure7 [APP ...] [--quick]
+    cashmere-repro shootdown
+    cashmere-repro lockfree
+    cashmere-repro all     [--quick]
+
+``--quick`` restricts Figure 7 to three placements (4:1, 8:4, 32:4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .configs import APP_ORDER, PLACEMENT_ORDER, QUICK_PLACEMENTS
+from .figure6 import run_figure6
+from .figure7 import run_figure7
+from .lockfree import run_lockfree_ablation
+from .polling import run_polling_ablation
+from .sensitivity import run_sensitivity
+from .shootdown import run_shootdown_ablation
+from .table1 import run_table1
+from .table2 import format_table2, run_table2
+from .table3 import run_table3
+
+
+def _apps_arg(values: list[str]) -> tuple[str, ...]:
+    if not values:
+        return APP_ORDER
+    bad = [v for v in values if v not in APP_ORDER]
+    if bad:
+        raise SystemExit(f"unknown application(s) {bad}; "
+                         f"choose from {list(APP_ORDER)}")
+    return tuple(values)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cashmere-repro",
+        description="Regenerate the Cashmere-2L paper's tables and figures "
+                    "on the simulated cluster.")
+    parser.add_argument("experiment",
+                        choices=["table1", "table2", "table3", "figure6",
+                                 "figure7", "shootdown", "lockfree",
+                                 "sensitivity", "polling", "all"])
+    parser.add_argument("apps", nargs="*",
+                        help="restrict to these applications")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced placement set for figure7")
+    args = parser.parse_args(argv)
+    apps = _apps_arg(args.apps)
+    placements = QUICK_PLACEMENTS if args.quick else PLACEMENT_ORDER
+
+    start = time.time()
+    todo = [args.experiment] if args.experiment != "all" else [
+        "table1", "table2", "table3", "figure6", "figure7", "shootdown",
+        "lockfree", "sensitivity", "polling"]
+    for experiment in todo:
+        if experiment == "table1":
+            print(run_table1().format())
+        elif experiment == "table2":
+            print(format_table2(run_table2(apps)))
+        elif experiment == "table3":
+            print(run_table3(apps=apps).format())
+        elif experiment == "figure6":
+            print(run_figure6(apps=apps).format())
+        elif experiment == "figure7":
+            print(run_figure7(apps=apps, placements=placements).format())
+        elif experiment == "shootdown":
+            print(run_shootdown_ablation().format())
+        elif experiment == "lockfree":
+            print(run_lockfree_ablation().format())
+        elif experiment == "polling":
+            print(run_polling_ablation(
+                apps=("Em3d", "Barnes", "Gauss") if not args.apps
+                else apps).format())
+        elif experiment == "sensitivity":
+            print(run_sensitivity(apps=("Em3d",) if not args.apps
+                                  else apps).format())
+        print()
+    print(f"[{time.time() - start:.1f}s wall clock]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

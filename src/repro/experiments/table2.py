@@ -1,0 +1,65 @@
+"""Experiment E2 — Table 2: data set sizes and sequential execution time.
+
+Runs every application sequentially (uninstrumented: plain arrays, no
+protocol) at experiment scale and reports, next to the paper's values,
+the scaled problem size, the shared-memory footprint, and the simulated
+sequential time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps import make_app
+from ..runtime.api import SharedSegment
+from ..runtime.sequential import run_sequential
+from ..stats.report import format_table
+from .configs import APP_ORDER, FULL_PLATFORM, bench_params
+
+
+@dataclass
+class Table2Row:
+    app: str
+    problem: str
+    shared_kbytes: float
+    seq_time_s: float
+    paper_problem: str
+    paper_seq_time_s: float
+
+
+def run_table2(apps: tuple[str, ...] = APP_ORDER) -> list[Table2Row]:
+    rows = []
+    for name in apps:
+        app = make_app(name)
+        params = bench_params(app)
+        env, time_us = run_sequential(app, params, FULL_PLATFORM)
+        seg = SharedSegment(FULL_PLATFORM)
+        app.declare(seg, params)
+        problem = ", ".join(f"{k}={v}" for k, v in params.items())
+        rows.append(Table2Row(
+            app=name,
+            problem=problem,
+            shared_kbytes=seg.words_used * 8 / 1024,
+            seq_time_s=time_us / 1e6,
+            paper_problem=app.paper_problem_size,
+            paper_seq_time_s=app.paper_seq_time_s,
+        ))
+    return rows
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    table_rows = [
+        (r.app, [r.shared_kbytes, r.seq_time_s, r.paper_seq_time_s])
+        for r in rows]
+    out = format_table(
+        "Table 2: data set sizes and sequential execution time (scaled)",
+        ["KB shared", "seq (s)", "paper (s)"], table_rows, col_width=12)
+    details = ["", "Scaled problem sizes:"]
+    for r in rows:
+        details.append(f"  {r.app:7s} {r.problem}   "
+                       f"(paper: {r.paper_problem})")
+    return out + "\n" + "\n".join(details)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_table2(run_table2()))

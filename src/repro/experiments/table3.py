@@ -1,0 +1,87 @@
+"""Experiment E3 — Table 3: detailed protocol statistics at 32 processors.
+
+Runs every application under every protocol on the full 8-node x
+4-processor platform and reports the paper's statistics rows: execution
+time, lock/flag acquires, barriers, read/write faults, page transfers,
+directory updates, write notices, exclusive-mode transitions, data
+transferred, twin creations, and (two-level only) incoming diffs,
+flush-updates, and shootdowns. All counts except execution time aggregate
+over all 32 processors, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps import make_app
+from ..runtime.program import run_app
+from ..stats.report import format_table, kilo
+from .configs import APP_ORDER, FULL_PLATFORM, PROTOCOL_ORDER, bench_params
+
+#: (row label, table3_row key, in thousands?)
+ROW_SPEC = (
+    ("Exec. time (s)", "exec_time_s", False),
+    ("Lock/Flag Acquires (K)", "lock_flag_acquires", True),
+    ("Barriers", "barriers", False),
+    ("Read Faults (K)", "read_faults", True),
+    ("Write Faults (K)", "write_faults", True),
+    ("Page Transfers (K)", "page_transfers", True),
+    ("Directory Updates (K)", "directory_updates", True),
+    ("Write Notices (K)", "write_notices", True),
+    ("Excl. Mode Transitions (K)", "excl_transitions", True),
+    ("Data (Mbytes)", "data_mbytes", False),
+    ("Twin Creations (K)", "twin_creations", True),
+    ("Incoming Diffs", "incoming_diffs", False),
+    ("Flush-Updates", "flush_updates", False),
+    ("Shootdowns", "shootdowns", False),
+)
+
+
+@dataclass
+class Table3Results:
+    #: stats[app][protocol] -> table3_row dict.
+    stats: dict[str, dict[str, dict]] = field(default_factory=dict)
+
+    def cell(self, app: str, protocol: str, key: str):
+        return self.stats[app][protocol].get(key)
+
+    def format(self) -> str:
+        sections = []
+        for protocol in PROTOCOL_ORDER:
+            apps = [a for a in self.stats if protocol in self.stats[a]]
+            if not apps:
+                continue
+            rows = []
+            for label, key, in_k in ROW_SPEC:
+                values = []
+                for app in apps:
+                    v = self.cell(app, protocol, key)
+                    if v is not None and in_k:
+                        v = kilo(int(v))
+                    values.append(v)
+                rows.append((label, values))
+            sections.append(format_table(
+                f"Table 3 — {protocol} protocol at "
+                f"{FULL_PLATFORM.total_procs} processors",
+                apps, rows, col_width=10, label_width=28))
+        return "\n\n".join(sections)
+
+
+def run_table3(apps: tuple[str, ...] = APP_ORDER,
+               protocols: tuple[str, ...] = PROTOCOL_ORDER,
+               config=None) -> Table3Results:
+    config = config or FULL_PLATFORM
+    results = Table3Results()
+    for app_name in apps:
+        results.stats[app_name] = {}
+        for protocol in protocols:
+            app = make_app(app_name)
+            run = run_app(app, bench_params(app), config, protocol)
+            results.stats[app_name][protocol] = run.stats.table3_row()
+    return results
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+    apps = tuple(sys.argv[1:]) or APP_ORDER
+    print(run_table3(apps=apps).format())

@@ -1,0 +1,160 @@
+"""Memory Channel regions: versioned words with timed visibility.
+
+The Memory Channel is write-only from remote nodes: a write issued at time
+``t`` becomes visible in every mapped receive region at ``t + latency``
+(plus any bandwidth queueing). The hub imposes a single global order on
+writes to the same region, even from different nodes (Section 2.1).
+
+:class:`VersionedWord` models one 32-bit MC word: it records the history
+of (visibility time, value) pairs so a reader whose local clock is ``T``
+sees exactly the writes that were globally performed by ``T``. This is
+what makes the simulated MC locks and barriers honest: a processor cannot
+observe a write before the network would have delivered it.
+
+:class:`MCRegion` is a fixed-size array of versioned words with an
+attached :class:`~repro.sim.engine.Condition` fired whenever a write
+becomes visible, so parked waiters (barrier arrivals, flag spins) wake at
+the correct simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..errors import MemoryChannelError
+from ..sim.engine import Condition, Simulator
+
+#: History entries retained per word. The protocols only need the current
+#: and in-flight values, but lock back-off patterns can briefly stack a few.
+_HISTORY_LIMIT = 8
+
+#: Minimum spacing the hub imposes between successive writes to one region.
+_ORDERING_EPSILON = 1e-6
+
+
+class VersionedWord:
+    """One Memory Channel word with visibility-timed history."""
+
+    __slots__ = ("_history",)
+
+    def __init__(self, initial: Any = 0) -> None:
+        # (visible_at, value), ascending by visible_at; index 0 always valid.
+        self._history: list[tuple[float, Any]] = [(0.0, initial)]
+
+    def write(self, visible_at: float, value: Any) -> None:
+        """Record a write that becomes globally visible at ``visible_at``."""
+        history = self._history
+        if history and visible_at < history[-1][0]:
+            # The hub orders writes; a later-arriving write cannot become
+            # visible before one already accepted.
+            visible_at = history[-1][0] + _ORDERING_EPSILON
+        history.append((visible_at, value))
+        if len(history) > _HISTORY_LIMIT:
+            del history[:len(history) - _HISTORY_LIMIT]
+
+    def read(self, at: float) -> Any:
+        """The value a reader with local clock ``at`` observes.
+
+        A small epsilon absorbs floating-point drift between a waiter's
+        accumulated clock and the exact visibility instant that woke it.
+        """
+        history = self._history
+        at += 1e-6
+        for visible_at, value in reversed(history):
+            if visible_at <= at:
+                return value
+        # Reader predates all retained history; oldest retained value is
+        # the best (and, for protocol usage, only correct) answer.
+        return history[0][1]
+
+    def last_visible_at(self) -> float:
+        return self._history[-1][0]
+
+    def latest(self) -> Any:
+        """The most recent value regardless of visibility (debug/tests)."""
+        return self._history[-1][1]
+
+
+class MCRegion:
+    """A mapped Memory Channel region of ``size`` words.
+
+    ``loopback`` mirrors the hardware flag: with loop-back enabled a node's
+    own writes return through the hub to its local receive region, letting
+    the writer detect that a write has been globally performed
+    (synchronization objects, Figure 1). Without loop-back, writers must
+    "double" writes to their local copy in software (the global directory).
+    The region model itself is shared — visibility timing is identical for
+    every node — so ``loopback`` only affects how *writers* may read.
+    """
+
+    def __init__(self, sim: Simulator, name: str, size: int,
+                 initial: Any = 0, loopback: bool = False) -> None:
+        if size < 1:
+            raise MemoryChannelError(f"region {name!r} must have >=1 word")
+        self.sim = sim
+        self.name = name
+        self.loopback = loopback
+        self.words = [VersionedWord(initial) for _ in range(size)]
+        self.visible = Condition(sim, name=f"mc:{name}")
+        self.write_count = 0
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def post(self, index: int, value: Any, visible_at: float) -> None:
+        """Record a write and arrange for waiters to wake at visibility."""
+        self.words[index].write(visible_at, value)
+        self.write_count += 1
+        # Fire unconditionally: a waiter may park between the post and the
+        # visibility time, and a fire with no waiters is a cheap no-op.
+        self.sim.schedule(max(visible_at, self.sim.now),
+                          _fire_at(self.visible, visible_at))
+
+    def read(self, index: int, at: float) -> Any:
+        return self.words[index].read(at)
+
+    def read_all(self, at: float) -> list[Any]:
+        return [w.read(at) for w in self.words]
+
+    def snapshot_latest(self) -> list[Any]:
+        """Latest values ignoring visibility (tests and debugging only)."""
+        return [w.latest() for w in self.words]
+
+
+def _fire_at(cond: Condition, at: float):
+    def run() -> None:
+        cond.fire(at)
+    return run
+
+
+class MappingTable:
+    """Accounting for Memory Channel connections (Section 2.3).
+
+    The hardware supports 64K connections covering a 128 Mbyte MC address
+    space; the paper packs shared pages into *superpages* so large data
+    sets fit. We enforce the connection budget so the superpage machinery
+    is load-bearing rather than decorative.
+    """
+
+    def __init__(self, max_connections: int = 65536) -> None:
+        self.max_connections = max_connections
+        self._used = 0
+        self._names: list[str] = []
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    def allocate(self, name: str, connections: int = 1) -> None:
+        if connections < 1:
+            raise MemoryChannelError("connection count must be positive")
+        if self._used + connections > self.max_connections:
+            raise MemoryChannelError(
+                f"Memory Channel mapping table exhausted allocating "
+                f"{connections} connection(s) for {name!r} "
+                f"({self._used}/{self.max_connections} in use)")
+        self._used += connections
+        self._names.append(name)
+
+    def allocated_names(self) -> Iterable[str]:
+        return tuple(self._names)

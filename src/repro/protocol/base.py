@@ -1,0 +1,343 @@
+"""Common infrastructure for the Cashmere protocol family.
+
+The four protocols (2L, 2LS, 1LD, 1L) share most of their machinery: an
+owner space (SMP nodes for the two-level protocols, individual processors
+for the one-level ones), per-owner frames and page tables, a replicated
+global directory, per-owner write-notice boards, an explicit
+request/reply engine, and first-touch home relocation. This module holds
+that shared core plus the load/store fast path; the protocol-specific
+fault, acquire, and release logic lives in the subclasses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.machine import Cluster, Node, Processor
+from ..config import MachineConfig
+from ..errors import ProtocolError
+from ..sim.engine import SerialResource
+from ..vm.page import FrameStore, Perm
+from ..vm.pagetable import PageTable
+from .directory import (NO_HOLDER, DirectoryLockModel, GlobalDirectory)
+from .messages import RequestEngine
+from .writenotice import NLEList, NoticeBoard, PerProcNotices
+
+#: Wire overhead of a page-fetch reply beyond the page data itself.
+PAGE_HEADER_BYTES = 32
+
+
+class ProcProtoState:
+    """Per-processor protocol state, laid out for the access fast path."""
+
+    __slots__ = ("proc", "owner", "lidx", "rows", "frames", "dirty", "nle",
+                 "notices", "acquire_ts", "excl_pages", "arrival_epoch")
+
+    def __init__(self, proc: Processor, owner: int, lidx: int,
+                 rows: list[list[int]], frames: dict[int, np.ndarray]) -> None:
+        self.proc = proc
+        self.owner = owner
+        self.lidx = lidx
+        #: The owner's page-table rows (shared list-of-lists).
+        self.rows = rows
+        #: The owner's frame dict (page -> numpy array), shared.
+        self.frames = frames
+        #: Pages this processor wrote since its last release (dirty list).
+        self.dirty: set[int] = set()
+        #: No-longer-exclusive list, written by local peers.
+        self.nle = NLEList()
+        #: Second-level write-notice list (bitmap + queue).
+        self.notices = PerProcNotices()
+        #: Logical time of this processor's most recent acquire.
+        self.acquire_ts: int = -1
+        #: Pages this processor currently holds in exclusive mode.
+        self.excl_pages: set[int] = set()
+        #: Barrier episodes this processor has arrived at (the "last
+        #: arriving local writer" check consults peers' arrival state).
+        self.arrival_epoch: int = 0
+
+
+class BaseProtocol:
+    """Shared protocol skeleton; see subclasses for semantics."""
+
+    #: Protocol short name ("2L", "2LS", "1LD", "1L").
+    name: str = "?"
+    #: True when owners are SMP nodes (two-level protocols).
+    two_level: bool = True
+
+    def __init__(self, cluster: Cluster, *, lock_free: bool = True,
+                 home_opt: bool = False) -> None:
+        self.cluster = cluster
+        self.config: MachineConfig = cluster.config
+        self.costs = cluster.config.costs
+        self.mc = cluster.mc
+        self.lock_free = lock_free
+        self.home_opt = home_opt
+
+        self.num_owners = self._owner_count()
+        lock_model = None if lock_free else DirectoryLockModel(self.config)
+        self.directory = GlobalDirectory(self.config, self.num_owners,
+                                         lock_model=lock_model)
+        self.frames = FrameStore(self.num_owners, self.config.num_pages,
+                                 self.config.words_per_page)
+        self.tables = [PageTable(self.config.num_pages, self._procs_per_owner())
+                       for _ in range(self.num_owners)]
+        self.boards = [NoticeBoard(o, self.num_owners)
+                       for o in range(self.num_owners)]
+        self.requests = RequestEngine(cluster)
+        self._init_masters()
+
+        #: First-touch relocation enabled after application initialization.
+        self.first_touch_enabled = False
+        self._relocated_superpages: set[int] = set()
+        self._home_lock = SerialResource(name="home-selection-lock")
+
+        self._ps: list[ProcProtoState] = []
+        for proc in cluster.processors:
+            owner = self.owner_of(proc)
+            lidx = self._local_index(proc)
+            self._ps.append(ProcProtoState(
+                proc, owner, lidx, self.tables[owner].rows,
+                self.frames.frames_of(owner)))
+
+    # --- owner-space geometry (subclass hooks) ------------------------------
+
+    def _owner_count(self) -> int:
+        return self.config.nodes if self.two_level else self.config.total_procs
+
+    def _procs_per_owner(self) -> int:
+        return self.config.procs_per_node if self.two_level else 1
+
+    def owner_of(self, proc: Processor) -> int:
+        return proc.node.id if self.two_level else proc.global_id
+
+    def _local_index(self, proc: Processor) -> int:
+        return proc.local_id if self.two_level else 0
+
+    def node_of_owner(self, owner: int) -> Node:
+        if self.two_level:
+            return self.cluster.nodes[owner]
+        return self.cluster.processors[owner].node
+
+    def proc_state(self, proc: Processor) -> ProcProtoState:
+        return self._ps[proc.global_id]
+
+    # --- the memory access fast path ----------------------------------------
+
+    def load(self, proc: Processor, page: int, offset: int) -> float:
+        st = self._ps[proc.global_id]
+        if st.rows[page][st.lidx] < Perm.READ:
+            self.read_fault(proc, st, page)
+        return st.frames[page][offset]
+
+    def store(self, proc: Processor, page: int, offset: int,
+              value: float) -> None:
+        st = self._ps[proc.global_id]
+        if st.rows[page][st.lidx] < Perm.WRITE:
+            self.write_fault(proc, st, page)
+        st.frames[page][offset] = value
+
+    def load_range(self, proc: Processor, page: int, lo: int,
+                   hi: int) -> np.ndarray:
+        """Read words [lo, hi) of one page (bulk access, one fault check)."""
+        st = self._ps[proc.global_id]
+        if st.rows[page][st.lidx] < Perm.READ:
+            self.read_fault(proc, st, page)
+        return st.frames[page][lo:hi]
+
+    def store_range(self, proc: Processor, page: int, lo: int,
+                    values: np.ndarray) -> None:
+        st = self._ps[proc.global_id]
+        if st.rows[page][st.lidx] < Perm.WRITE:
+            self.write_fault(proc, st, page)
+        st.frames[page][lo:lo + len(values)] = values
+
+    # --- protocol entry points (subclass responsibilities) -------------------
+
+    def read_fault(self, proc: Processor, st: ProcProtoState,
+                   page: int) -> None:
+        raise NotImplementedError
+
+    def write_fault(self, proc: Processor, st: ProcProtoState,
+                    page: int) -> None:
+        raise NotImplementedError
+
+    def acquire_sync(self, proc: Processor) -> None:
+        """Consistency actions on completing a lock acquire / flag wait /
+        barrier departure."""
+        raise NotImplementedError
+
+    def release_sync(self, proc: Processor) -> None:
+        """Consistency actions prior to a lock release / flag set."""
+        raise NotImplementedError
+
+    def barrier_release(self, proc: Processor) -> None:
+        """Consistency actions at barrier arrival (defaults to a release)."""
+        self.release_sync(proc)
+
+    # --- shared helpers -------------------------------------------------------
+
+    def end_initialization(self) -> None:
+        """Arm first-touch home relocation (runs once, at the end of the
+        application's initialization phase)."""
+        self.first_touch_enabled = True
+
+    def _init_masters(self) -> None:
+        """Create the master copies. Two-level protocols share the home
+        node's frame; one-level protocols override (the master is a
+        separate MC receive region even on the home processor)."""
+        for page in range(self.config.num_pages):
+            self.frames.map_frame(self.directory.home(page), page)
+
+    def master(self, page: int) -> np.ndarray:
+        """The current master copy (the home owner's frame)."""
+        return self.frames.frame(self.directory.home(page), page)
+
+    def _charge_dir_update(self, proc: Processor, fanout: int = 0) -> None:
+        proc.charge(self.directory.update_cost(proc), "protocol")
+        proc.stats.bump("directory_updates")
+        self.mc.account("directory",
+                        4 * (fanout or self.num_owners))
+
+    def _set_node_perm_word(self, proc: Processor, page: int,
+                            perm: Perm) -> None:
+        """Update this owner's global directory word when its loosest
+        permission changes (broadcast write, charged)."""
+        st = self._ps[proc.global_id]
+        word = self.directory.entry(page).words[st.owner]
+        if word.perm != perm:
+            word.perm = perm
+            self._charge_dir_update(proc)
+
+    def _notices_pending(self, owner: int, page: int) -> bool:
+        """Any write notice for ``page`` queued at this owner (even one
+        still in flight)?
+
+        Exclusive mode must not be entered with a notice pending: the
+        holder's copy would be stale, and the eventual full-page break
+        flush would clobber the newer master words the notice announced.
+        """
+        for bin_ in self.boards[owner].bins:
+            for wn in bin_:
+                if wn.page == page:
+                    return True
+        node = self.node_of_owner(owner)
+        for peer in node.processors:
+            pst = self._ps[peer.global_id]
+            if pst.owner == owner and page in pst.notices._bitmap:
+                return True
+        return False
+
+    def _superpage_of(self, page: int) -> int:
+        return page // self.config.superpage_pages
+
+    def _superpage_pages_of(self, sp: int) -> range:
+        per = self.config.superpage_pages
+        return range(sp * per, min((sp + 1) * per, self.config.num_pages))
+
+    def maybe_relocate_home(self, proc: Processor, page: int) -> None:
+        """First-touch home relocation (Section 2.3, "Home node selection").
+
+        Runs at most once per superpage, after initialization: the first
+        post-initialization toucher becomes the home. Requires the global
+        home-selection lock — the only global lock in the protocol.
+        """
+        if not self.first_touch_enabled:
+            return
+        sp = self._superpage_of(page)
+        if sp in self._relocated_superpages:
+            return
+        entry = self.directory.entry(page)
+        if not entry.home_is_default:
+            return
+        self._relocated_superpages.add(sp)
+        st = self._ps[proc.global_id]
+
+        # Global lock acquire/release (11 us plus any serialization).
+        costs = self.costs
+        begin, end = self._home_lock.acquire(proc.clock, 11.0)
+        proc.charge(end - proc.clock, "protocol")
+        proc.stats.bump("home_relocations")
+
+        new_home = st.owner
+        for p in self._superpage_pages_of(sp):
+            e = self.directory.entry(p)
+            e.home_is_default = False
+            old_home = e.home_owner
+            if old_home == new_home:
+                continue
+            self._relocate_page(proc, p, old_home, new_home)
+
+    def _relocate_page(self, proc: Processor, page: int, old_home: int,
+                       new_home: int) -> None:
+        e = self.directory.entry(page)
+        # Break any exclusive holding so the master content is current.
+        holder = e.exclusive_holder()
+        if holder is not None and holder[0] == new_home:
+            # The new home already has the newest copy; keep its frame.
+            e.home_owner = new_home
+            self._charge_dir_update(proc)
+            self._after_relocation(page, old_home, new_home)
+            return
+        if holder is not None:
+            self._break_exclusive(proc, page, holder)
+        # Move the master copy: an explicit transfer from the old home.
+        self._install_master(proc, page, new_home)
+        _, visible = self.mc.transfer(proc.clock, self.config.page_bytes,
+                                      category="relocation")
+        proc.charge(visible - proc.clock, "comm_wait")
+        e.home_owner = new_home
+        # The home id lives in every directory word; one broadcast update.
+        self._charge_dir_update(proc)
+        self._after_relocation(page, old_home, new_home)
+
+    def _install_master(self, proc: Processor, page: int,
+                        new_home: int) -> None:
+        """Install the master copy at the relocated home owner."""
+        old_master = self.master(page)
+        twin = self._twin_of(new_home, page)
+        if twin is not None:
+            # The new home holds unflushed local writes; merge the old
+            # master's remote changes instead of clobbering them.
+            from ..vm.diffs import incoming_diff
+            frame = self.frames.frame(new_home, page)
+            incoming_diff(old_master, frame, twin,
+                          context=f"relocation of page {page}")
+            self._drop_twin(new_home, page)
+        else:
+            self.frames.map_frame(new_home, page, old_master)
+
+    def _after_relocation(self, page: int, old_home: int,
+                          new_home: int) -> None:
+        """Subclass hook (home-node optimization remapping)."""
+
+    def _twin_of(self, owner: int, page: int) -> np.ndarray | None:
+        """Subclass hook: the owner's twin for ``page``, if any."""
+        return None
+
+    def _drop_twin(self, owner: int, page: int) -> None:
+        """Subclass hook: discard the owner's twin for ``page``."""
+
+    def _break_exclusive(self, proc: Processor, page: int,
+                         holder: tuple[int, int]) -> np.ndarray:
+        raise NotImplementedError
+
+    # --- debugging / tests -----------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Structural invariants; used by tests and property checks."""
+        for page in range(self.config.num_pages):
+            entry = self.directory.entry(page)
+            entry.exclusive_holder()  # raises on multiple holders
+            self.master(page)  # raises if the master copy is missing
+            for owner, word in enumerate(entry.words):
+                loosest = self.tables[owner].loosest(page)
+                if word.perm > Perm.INVALID and not (
+                        self.frames.has_frame(owner, page)):
+                    raise ProtocolError(
+                        f"owner {owner} claims perm {word.perm} on page "
+                        f"{page} without a frame")
+                if loosest > word.perm:
+                    raise ProtocolError(
+                        f"owner {owner} page {page}: table loosest {loosest} "
+                        f"exceeds directory word {word.perm}")

@@ -1,0 +1,109 @@
+"""Write-notice lists (Section 2.3, Figure 4).
+
+Each owner has a globally accessible write-notice board with one *bin*
+(circular queue) per remote owner, so every bin has a single writer and
+no global lock is needed. On an acquire, a processor traverses all bins
+and distributes the notices to per-processor second-level lists; each of
+those is a bitmap + queue protected by a local ll/sc lock, so redundant
+notices for the same page collapse.
+
+Notices carry the Memory Channel visibility time of the write that posted
+them: an acquiring processor only consumes the prefix of each bin that
+has become visible by its local clock, exactly like the hardware's
+in-order delivery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WriteNotice:
+    """Notification that ``page`` was modified by ``from_owner``."""
+
+    page: int
+    from_owner: int
+    visible_at: float
+
+
+class NoticeBoard:
+    """One owner's global write-notice list: a bin per remote owner."""
+
+    def __init__(self, owner: int, num_owners: int) -> None:
+        self.owner = owner
+        self.bins: list[deque[WriteNotice]] = [deque()
+                                               for _ in range(num_owners)]
+        self.posted = 0
+
+    def post(self, from_owner: int, page: int, visible_at: float) -> None:
+        """Append a notice to ``from_owner``'s bin (a remote MC write)."""
+        self.bins[from_owner].append(WriteNotice(page, from_owner, visible_at))
+        self.posted += 1
+
+    def collect(self, upto: float) -> list[WriteNotice]:
+        """Consume every notice visible by time ``upto`` (bin order)."""
+        found: list[WriteNotice] = []
+        for bin_ in self.bins:
+            while bin_ and bin_[0].visible_at <= upto:
+                found.append(bin_.popleft())
+        return found
+
+    def pending(self) -> int:
+        return sum(len(b) for b in self.bins)
+
+
+class PerProcNotices:
+    """A processor's second-level write-notice list: bitmap + queue.
+
+    ``add`` returns True when the notice was new (bit previously clear);
+    redundant notices are dropped without touching the queue, which is the
+    multi-bin structure's point. ``drain`` flushes the queue and clears
+    the bitmap, as the protocol does while holding the local lock.
+    """
+
+    def __init__(self) -> None:
+        self._bitmap: set[int] = set()
+        self._queue: deque[int] = deque()
+        self.redundant_drops = 0
+
+    def add(self, page: int) -> bool:
+        if page in self._bitmap:
+            self.redundant_drops += 1
+            return False
+        self._bitmap.add(page)
+        self._queue.append(page)
+        return True
+
+    def drain(self) -> list[int]:
+        pages = list(self._queue)
+        self._queue.clear()
+        self._bitmap.clear()
+        return pages
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+@dataclass
+class NLEList:
+    """A processor's no-longer-exclusive list (written by local peers).
+
+    When a page leaves exclusive mode while other local processors hold
+    write mappings, the responder places the page here; the owner flushes
+    it at its next release as if it were dirty.
+    """
+
+    pages: set[int] = field(default_factory=set)
+
+    def add(self, page: int) -> None:
+        self.pages.add(page)
+
+    def take_all(self) -> list[int]:
+        pages = sorted(self.pages)
+        self.pages.clear()
+        return pages
+
+    def __len__(self) -> int:
+        return len(self.pages)

@@ -1,0 +1,158 @@
+"""The worker environment: what application code sees.
+
+An application worker is a generator taking a single ``env`` argument.
+The same worker code runs in three settings:
+
+* **parallel** — :class:`WorkerEnv`, backed by a coherence protocol on
+  the simulated cluster (this module);
+* **sequential** — :class:`~repro.runtime.sequential.SequentialEnv`,
+  plain numpy arrays and a cost accumulator (the paper's uninstrumented
+  sequential runs of Table 2).
+
+Data access methods (``get``/``set``/``get_block``/``set_block``) are
+plain calls; anything that can block — barriers, lock acquires, flag
+waits — is a sub-generator the worker must delegate to with
+``yield from``; compute blocks are yielded instructions:
+
+    value = env.get(arr, i)
+    env.set(arr, i, value + 1.0)
+    yield env.compute(cpu_us=5.0, mem_bytes=256)
+    yield from env.barrier()
+    yield from env.acquire(0)
+    ...critical section...
+    env.release(0)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.machine import Processor
+from ..sim.process import Compute
+from .api import SharedArray
+
+
+class WorkerEnv:
+    """Per-processor handle used by application code (parallel runs)."""
+
+    def __init__(self, runtime, proc: Processor) -> None:
+        self._rt = runtime
+        self.proc = proc
+        self.rank = proc.global_id
+        self.nprocs = runtime.cluster.num_procs
+        self._protocol = runtime.protocol
+        self._shift = runtime.config.page_shift - 3  # words per page shift
+        self._mask = runtime.config.words_per_page - 1
+        #: Uniform scale on all compute charges (the "_compute_scale"
+        #: parameter): used for computation-to-communication sensitivity
+        #: studies and by the calibration tooling.
+        self._cscale = float(runtime.params.get("_compute_scale", 1.0))
+
+    # --- identity ------------------------------------------------------------
+
+    @property
+    def node_rank(self) -> int:
+        return self.proc.node.id
+
+    @property
+    def words_per_page(self) -> int:
+        return self._mask + 1
+
+    @property
+    def local_rank(self) -> int:
+        return self.proc.local_id
+
+    def arr(self, name: str) -> SharedArray:
+        return self._rt.segment.array(name)
+
+    # --- scalar access ---------------------------------------------------------
+
+    def get(self, arr: SharedArray, i: int) -> float:
+        w = arr.base + i
+        return self._protocol.load(self.proc, w >> self._shift,
+                                   w & self._mask)
+
+    def set(self, arr: SharedArray, i: int, value: float) -> None:
+        w = arr.base + i
+        self._protocol.store(self.proc, w >> self._shift,
+                             w & self._mask, value)
+
+    # --- block access ------------------------------------------------------------
+
+    def get_block(self, arr: SharedArray, lo: int, hi: int) -> np.ndarray:
+        """Copy of words [lo, hi) of the array (page faults as needed)."""
+        base = arr.base
+        w0, w1 = base + lo, base + hi
+        shift, mask = self._shift, self._mask
+        wpp = mask + 1
+        out = np.empty(hi - lo, dtype=np.float64)
+        pos = 0
+        w = w0
+        while w < w1:
+            page = w >> shift
+            off = w & mask
+            take = min(wpp - off, w1 - w)
+            out[pos:pos + take] = self._protocol.load_range(
+                self.proc, page, off, off + take)
+            pos += take
+            w += take
+        return out
+
+    def set_block(self, arr: SharedArray, lo: int,
+                  values: np.ndarray) -> None:
+        """Write ``values`` at word offset ``lo`` (page faults as needed)."""
+        base = arr.base
+        w = base + lo
+        end = w + len(values)
+        shift, mask = self._shift, self._mask
+        wpp = mask + 1
+        pos = 0
+        while w < end:
+            page = w >> shift
+            off = w & mask
+            take = min(wpp - off, end - w)
+            self._protocol.store_range(self.proc, page, off,
+                                       values[pos:pos + take])
+            pos += take
+            w += take
+
+    # --- time ---------------------------------------------------------------------
+
+    def compute(self, cpu_us: float, mem_bytes: float = 0.0) -> Compute:
+        """A block of application computation; yield the returned object."""
+        return Compute(cpu_us * self._cscale, mem_bytes * self._cscale)
+
+    # --- synchronization --------------------------------------------------------------
+
+    def barrier(self):
+        """Generator: global barrier (with arrival flush / departure acquire)."""
+        return self._rt.barrier.wait(self.proc)
+
+    def acquire(self, lock_id: int):
+        """Generator: acquire application lock ``lock_id``."""
+        return self._rt.lock(lock_id).acquire(self.proc)
+
+    def release(self, lock_id: int) -> None:
+        self._rt.lock(lock_id).release(self.proc)
+
+    def flag_set(self, name: str, index: int, value: int = 1) -> None:
+        self._rt.flags(name).set(self.proc, index, value)
+
+    def flag_wait(self, name: str, index: int, value: int = 1):
+        """Generator: wait for a flag, then acquire."""
+        return self._rt.flags(name).wait(self.proc, index, value)
+
+    def flag_peek(self, name: str, index: int) -> int:
+        """Read a flag without blocking or acquiring (polling checks)."""
+        return self._rt.flags(name).peek(self.proc, index)
+
+    # --- phases --------------------------------------------------------------------------
+
+    def end_init(self) -> None:
+        """Mark the end of the initialization phase: arms first-touch home
+        relocation (call on every rank; idempotent)."""
+        self._protocol.end_initialization()
+
+    @property
+    def parallel(self) -> bool:
+        return True

@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel (engine, processes, resources)."""
+
+from .engine import (Condition, MultiChannelResource, SerialResource,
+                     Simulator)
+from .process import (TIME_BUCKETS, Charge, Compute, ExecutionContext,
+                      ProcessGroup, SimProcess, Sleep, Wait, run_all)
+
+__all__ = [
+    "Simulator", "Condition", "SerialResource", "MultiChannelResource",
+    "Compute", "Charge", "Sleep", "Wait",
+    "ExecutionContext", "SimProcess", "ProcessGroup", "run_all",
+    "TIME_BUCKETS",
+]

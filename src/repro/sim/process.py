@@ -1,0 +1,289 @@
+"""Simulated processes: generator coroutines driven by the event queue.
+
+A simulated processor executes a Python generator. The generator performs
+*real* work (reads and writes real memory through the DSM runtime) and
+yields instructions whenever simulated time must pass or the processor
+must block:
+
+``Compute(cpu_us, mem_bytes)``
+    A block of application computation: charges CPU time plus memory-bus
+    service (with contention from other processors on the node), plus one
+    polling check. Yield points double as the polling instrumentation's
+    loop back-edges: pending explicit requests are serviced here.
+
+``Charge(us, bucket)``
+    Non-blocking time charge (protocol work, waits already computed).
+
+``Sleep(us, bucket)``
+    Delay without bus usage (e.g. lock backoff).
+
+``Wait(condition, predicate, bucket)``
+    Park until ``condition`` fires and ``predicate()`` is truthy; the
+    predicate's value is sent back into the generator. While parked the
+    processor still services incoming requests (processors in the paper
+    poll while spinning).
+
+Protocol handlers themselves are plain functions that run atomically at a
+point in simulated time, charging measured costs; only synchronization
+blocks via ``Wait``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable, Sequence
+
+from ..errors import DeadlockError, SimulationError
+from .engine import Condition, Simulator
+
+#: Buckets for the Figure-6 execution time breakdown.
+TIME_BUCKETS = ("user", "protocol", "polling", "comm_wait", "write_double")
+
+SimGen = Generator[Any, Any, Any]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """A block of application computation (see module docstring)."""
+
+    cpu_us: float
+    mem_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_us < 0 or self.mem_bytes < 0:
+            raise SimulationError("negative compute cost")
+
+
+@dataclass(frozen=True)
+class Charge:
+    """Advance time without blocking or bus usage."""
+
+    us: float
+    bucket: str = "protocol"
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Delay (no bus, no poll charge); used for backoff loops."""
+
+    us: float
+    bucket: str = "comm_wait"
+
+
+@dataclass
+class Wait:
+    """Block until ``predicate()`` is truthy after ``conditions`` fire."""
+
+    conditions: Sequence[Condition]
+    predicate: Callable[[], Any]
+    bucket: str = "comm_wait"
+
+    def __init__(self, conditions: Condition | Sequence[Condition],
+                 predicate: Callable[[], Any],
+                 bucket: str = "comm_wait") -> None:
+        if isinstance(conditions, Condition):
+            conditions = (conditions,)
+        self.conditions = tuple(conditions)
+        self.predicate = predicate
+        self.bucket = bucket
+
+
+class ExecutionContext:
+    """What a :class:`SimProcess` needs from its processor.
+
+    The cluster layer's ``Processor`` subclasses this; the simulation layer
+    depends only on this narrow interface.
+    """
+
+    clock: float = 0.0
+
+    def charge(self, us: float, bucket: str) -> None:
+        """Advance the local clock, accounting ``us`` to ``bucket``."""
+        raise NotImplementedError
+
+    def run_compute(self, cpu_us: float, mem_bytes: float) -> None:
+        """Charge a compute block, including memory-bus contention."""
+        raise NotImplementedError
+
+    def service_requests(self) -> None:
+        """Poll: handle any explicit requests pending for this processor."""
+
+    def poll_conditions(self) -> Sequence[Condition]:
+        """Conditions that should wake this processor while it waits."""
+        return ()
+
+
+class SimProcess:
+    """Drives one generator on one execution context."""
+
+    def __init__(self, sim: Simulator, ctx: ExecutionContext, gen: SimGen,
+                 name: str = "") -> None:
+        self.sim = sim
+        self.ctx = ctx
+        self.gen = gen
+        self.name = name or repr(gen)
+        self.done = False
+        self.failed: BaseException | None = None
+        self.result: Any = None
+        self._parked_on: tuple[Condition, ...] = ()
+        self._wait: Wait | None = None
+        self._registry: "ProcessGroup | None" = None
+        # One stable bound-method object: park/unpark match by identity,
+        # and ``self._wake`` would create a fresh object on every access.
+        self._wake_cb = self._wake
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self.sim.schedule(self.ctx.clock, lambda: self._step(None))
+
+    @property
+    def parked(self) -> bool:
+        return bool(self._parked_on)
+
+    # -- stepping ----------------------------------------------------------
+
+    def _step(self, send_value: Any) -> None:
+        """Resume the generator, then dispatch its next instruction."""
+        if self.done:
+            return
+        self.ctx.service_requests()
+        try:
+            instr = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:
+            self.done = True
+            self.failed = exc
+            if self._registry is not None:
+                self._registry.on_failure(self, exc)
+            return
+        self._dispatch(instr)
+
+    def _dispatch(self, instr: Any) -> None:
+        if isinstance(instr, Compute):
+            self.ctx.run_compute(instr.cpu_us, instr.mem_bytes)
+            self.sim.schedule(self.ctx.clock, lambda: self._step(None))
+        elif isinstance(instr, Charge):
+            self.ctx.charge(instr.us, instr.bucket)
+            self.sim.schedule(self.ctx.clock, lambda: self._step(None))
+        elif isinstance(instr, Sleep):
+            self.ctx.charge(instr.us, instr.bucket)
+            self.sim.schedule(self.ctx.clock, lambda: self._step(None))
+        elif isinstance(instr, Wait):
+            self._begin_wait(instr)
+        else:
+            self.done = True
+            err = SimulationError(
+                f"process {self.name} yielded unknown instruction {instr!r}")
+            self.failed = err
+            if self._registry is not None:
+                self._registry.on_failure(self, err)
+
+    # -- waiting -----------------------------------------------------------
+
+    def _begin_wait(self, wait: Wait) -> None:
+        value = wait.predicate()
+        if value:
+            self.sim.schedule(self.ctx.clock, lambda: self._step(value))
+            return
+        self._wait = wait
+        conds = tuple(wait.conditions) + tuple(self.ctx.poll_conditions())
+        self._parked_on = conds
+        for cond in conds:
+            cond.park(self.ctx.clock, self._wake_cb)
+
+    def _wake(self, at: float) -> None:
+        if self.done or self._wait is None:
+            return
+        for cond in self._parked_on:
+            cond.unpark(self._wake_cb)
+        self._parked_on = ()
+        wait = self._wait
+        if at > self.ctx.clock:
+            self.ctx.charge(at - self.ctx.clock, wait.bucket)
+            # Snap exactly to the wake time: accumulating the delta can
+            # land a hair *below* ``at`` in floating point, which would
+            # make a visibility predicate miss the very write that woke us.
+            self.ctx.clock = max(self.ctx.clock, at)
+        self.ctx.service_requests()
+        value = wait.predicate()
+        if value:
+            self._wait = None
+            self._step(value)
+        else:
+            self._begin_wait(wait)
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        if self._registry is not None:
+            self._registry.on_completion(self)
+
+
+class ProcessGroup:
+    """A set of processes run to completion together.
+
+    Provides deadlock detection (all processes parked, no pending events)
+    and immediate propagation of the first process failure.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.processes: list[SimProcess] = []
+        self._failure: BaseException | None = None
+        sim.idle_check = self._idle_check
+
+    def spawn(self, ctx: ExecutionContext, gen: SimGen, name: str = "") -> SimProcess:
+        proc = SimProcess(self.sim, ctx, gen, name)
+        proc._registry = self
+        self.processes.append(proc)
+        proc.start()
+        return proc
+
+    def on_completion(self, proc: SimProcess) -> None:
+        pass
+
+    def on_failure(self, proc: SimProcess, exc: BaseException) -> None:
+        if self._failure is None:
+            self._failure = exc
+
+    def run(self) -> float:
+        """Run until every process completes; returns the final time."""
+        end = self.sim.run()
+        if self._failure is not None:
+            raise self._failure
+        remaining = [p for p in self.processes if not p.done]
+        if remaining:
+            names = ", ".join(p.name for p in remaining[:8])
+            raise DeadlockError(
+                f"{len(remaining)} process(es) never completed: {names}")
+        return end
+
+    def _idle_check(self) -> None:
+        if self._failure is not None:
+            return
+        parked = [p for p in self.processes if not p.done and p.parked]
+        alive = [p for p in self.processes if not p.done]
+        if alive and len(parked) == len(alive):
+            names = ", ".join(p.name for p in parked[:8])
+            raise DeadlockError(
+                f"simulation deadlock: {len(parked)} process(es) parked "
+                f"with no pending events: {names}")
+
+
+def run_all(sim: Simulator,
+            programs: Iterable[tuple[ExecutionContext, SimGen, str]]) -> float:
+    """Convenience: spawn every (ctx, generator, name) and run to completion."""
+    group = ProcessGroup(sim)
+    for ctx, gen, name in programs:
+        group.spawn(ctx, gen, name)
+    return group.run()
+
+
+__all__ = [
+    "Compute", "Charge", "Sleep", "Wait",
+    "ExecutionContext", "SimProcess", "ProcessGroup", "run_all",
+    "TIME_BUCKETS",
+]

@@ -1,0 +1,5 @@
+"""Statistics: Table-3 counters, Figure-6 time breakdowns, reporting."""
+
+from .counters import COUNTER_NAMES, ProcStats, RunStats
+
+__all__ = ["ProcStats", "RunStats", "COUNTER_NAMES"]

@@ -1,0 +1,124 @@
+"""Statistics gathered during a simulation run.
+
+The counter names mirror the rows of Table 3: synchronization operations,
+faults, page transfers, directory updates, write notices, exclusive-mode
+transitions, twin maintenance, incoming diffs, flush-updates, and
+shootdowns. Time is accounted into the Figure-6 buckets (User, Protocol,
+Polling, Comm & Wait, Write Doubling).
+
+Per-processor stats aggregate into run-level stats; the experiment
+harness formats them into the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..sim.process import TIME_BUCKETS
+
+#: Canonical counter names (Table 3 rows).
+COUNTER_NAMES = (
+    "lock_acquires",        # Lock/Flag Acquires
+    "flag_acquires",        # subset of the above, kept separately too
+    "barriers",             # Barriers
+    "read_faults",          # Read Faults
+    "write_faults",         # Write Faults
+    "page_transfers",       # Page Transfers
+    "directory_updates",    # Directory Updates
+    "write_notices",        # Write Notices
+    "excl_transitions",     # Exclusive-Mode Transitions (in + out)
+    "twin_creations",       # Twin Creations
+    "incoming_diffs",       # Incoming Diffs (2L)
+    "flush_updates",        # Flush-Updates (2L)
+    "shootdowns",           # Shootdowns (2LS)
+    "home_relocations",     # first-touch home migrations
+    "requests_served",      # explicit requests handled via polling
+)
+
+
+@dataclass
+class ProcStats:
+    """Time buckets and event counters for one simulated processor."""
+
+    buckets: dict[str, float] = field(
+        default_factory=lambda: {b: 0.0 for b in TIME_BUCKETS})
+    counters: Counter = field(default_factory=Counter)
+
+    def charge(self, us: float, bucket: str) -> None:
+        self.buckets[bucket] += us
+
+    def bump(self, counter: str, n: int = 1) -> None:
+        self.counters[counter] += n
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.buckets.values())
+
+    def merged_into(self, other: "ProcStats") -> None:
+        for bucket, us in self.buckets.items():
+            other.buckets[bucket] = other.buckets.get(bucket, 0.0) + us
+        other.counters.update(self.counters)
+
+
+@dataclass
+class RunStats:
+    """Aggregated statistics for one parallel execution.
+
+    ``exec_time_us`` is the wall-clock of the slowest processor;
+    ``aggregate`` sums counters and buckets over all processors
+    (Table 3 aggregates over all 32 processors).
+    """
+
+    exec_time_us: float = 0.0
+    aggregate: ProcStats = field(default_factory=ProcStats)
+    per_proc: list[ProcStats] = field(default_factory=list)
+    mc_traffic_bytes: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def collect(cls, proc_stats: list[ProcStats], exec_time_us: float,
+                mc_traffic: dict[str, int]) -> "RunStats":
+        run = cls(exec_time_us=exec_time_us, per_proc=list(proc_stats),
+                  mc_traffic_bytes=dict(mc_traffic))
+        for ps in proc_stats:
+            ps.merged_into(run.aggregate)
+        return run
+
+    # --- Table 3 convenience accessors ------------------------------------
+
+    def counter(self, name: str) -> int:
+        return int(self.aggregate.counters.get(name, 0))
+
+    @property
+    def data_mbytes(self) -> float:
+        return sum(self.mc_traffic_bytes.values()) / 1e6
+
+    @property
+    def exec_time_s(self) -> float:
+        return self.exec_time_us / 1e6
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        """Per-bucket fraction of aggregated processor time (Figure 6)."""
+        total = self.aggregate.total_time
+        if total <= 0:
+            return {b: 0.0 for b in TIME_BUCKETS}
+        return {b: self.aggregate.buckets[b] / total for b in TIME_BUCKETS}
+
+    def table3_row(self) -> dict[str, float]:
+        """All Table 3 fields for this run."""
+        return {
+            "exec_time_s": self.exec_time_s,
+            "lock_flag_acquires": self.counter("lock_acquires"),
+            "barriers": self.counter("barriers"),
+            "read_faults": self.counter("read_faults"),
+            "write_faults": self.counter("write_faults"),
+            "page_transfers": self.counter("page_transfers"),
+            "directory_updates": self.counter("directory_updates"),
+            "write_notices": self.counter("write_notices"),
+            "excl_transitions": self.counter("excl_transitions"),
+            "data_mbytes": self.data_mbytes,
+            "twin_creations": self.counter("twin_creations"),
+            "incoming_diffs": self.counter("incoming_diffs"),
+            "flush_updates": self.counter("flush_updates"),
+            "shootdowns": self.counter("shootdowns"),
+        }

@@ -1,0 +1,64 @@
+"""Plain-text table formatting for the experiment harness.
+
+The experiments print tables shaped like the paper's: one column per
+protocol or placement, one row per statistic or application. Everything
+is monospace-aligned text so the harness output can be diffed against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_table(title: str, col_names: Sequence[str],
+                 rows: Iterable[tuple[str, Sequence[Any]]],
+                 col_width: int = 10, label_width: int = 28) -> str:
+    """Render a labeled table.
+
+    ``rows`` yields (label, values) with one value per column. Numbers
+    are rendered compactly; None renders as a dash.
+    """
+    lines = [title, "=" * len(title)]
+    header = " " * label_width + "".join(
+        f"{name:>{col_width}}" for name in col_names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in rows:
+        cells = "".join(f"{_fmt(v):>{col_width}}" for v in values)
+        lines.append(f"{label:<{label_width}}{cells}")
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}".replace(",", " ") if value >= 100000 \
+            else str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}".replace(",", " ")
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def kilo(count: int) -> float:
+    """Counts in thousands, as Table 3 reports them."""
+    return count / 1000.0
+
+
+def pct_change(new: float, base: float) -> float:
+    """Percentage improvement of ``new`` over ``base`` (positive = faster),
+    computed on execution times."""
+    if base == 0:
+        return 0.0
+    return 100.0 * (base - new) / base

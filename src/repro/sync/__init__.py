@@ -1,0 +1,7 @@
+"""Synchronization primitives: MC locks, two-level barriers, flags."""
+
+from .barrier import Barrier
+from .flag import FlagSet
+from .mclock import MCLock
+
+__all__ = ["MCLock", "Barrier", "FlagSet"]

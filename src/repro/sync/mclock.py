@@ -1,0 +1,152 @@
+"""Memory Channel locks (Section 2.3, "Synchronization").
+
+A lock is an array in Memory Channel space with one entry per owner,
+replicated everywhere and configured for *loop-back*: a writer sees its
+own write return through the hub, which tells it the write has been
+globally performed. To acquire, a process sets its entry, waits for
+loop-back, and reads the whole array: if its entry is the only one set it
+holds the lock; otherwise it clears its entry, backs off, and retries.
+
+Under the two-level protocols, processors within a node first serialize
+on a local ll/sc test-and-set flag, so at most one processor per node
+competes on the Memory Channel; this adds a little latency (19 us vs
+11 us uncontended) but reduces global traffic.
+
+Acquire/release run the protocol's consistency actions: acquire-side
+invalidation after the lock is obtained, release-side flushing before the
+lock is dropped — the write that frees the lock is issued only after the
+flushes, so a subsequent acquirer's page fetches observe them.
+
+Simulation note: the *uncontended* path performs the full set /
+loop-back / read-array sequence, reproducing the measured 11 us / 19 us
+costs. Under contention, rather than simulating every test-and-back-off
+retry as events (which costs O(waiters^2) simulator events per handoff),
+waiters queue in arrival order and each handoff charges the loser one
+failed attempt's worth of time — the same first-order timing with O(1)
+events. ``contended_retries`` still counts the implied retries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..cluster.machine import Cluster, Processor
+from ..errors import SimulationError
+from ..sim.engine import Condition
+from ..sim.process import Sleep, Wait
+
+
+class MCLock:
+    """One application (or protocol) lock."""
+
+    def __init__(self, cluster: Cluster, protocol, lock_id: int) -> None:
+        self.cluster = cluster
+        self.protocol = protocol
+        self.lock_id = lock_id
+        self.two_level = protocol.two_level
+        slots = protocol.num_owners
+        self.region = cluster.mc.new_region(
+            f"lock[{lock_id}]", slots, initial=0, loopback=True,
+            connections=cluster.config.nodes)
+        # Per-node ll/sc flag (two-level path): holder proc id or None.
+        self._node_flag: dict[int, int | None] = {
+            n.id: None for n in cluster.nodes}
+        self._node_cond = {
+            n.id: Condition(cluster.sim, name=f"lockflag[{lock_id}][{n.id}]")
+            for n in cluster.nodes}
+        #: Current holder (global processor id) and FIFO of waiters.
+        self._holder: int | None = None
+        self._queue: deque[int] = deque()
+        #: Simulated time at which the most recent release becomes
+        #: globally visible. A contender whose local clock is earlier
+        #: cannot observe the lock as free — simulated clocks can run far
+        #: ahead of event-execution order (long atomic waits), and without
+        #: this timestamp a temporally-earlier contender could slip into a
+        #: critical section that logically has not ended yet.
+        self._free_visible_at = 0.0
+        self._grant = Condition(cluster.sim, name=f"lockgrant[{lock_id}]")
+        self.contended_retries = 0
+
+    def _slot(self, proc: Processor) -> int:
+        return self.protocol.owner_of(proc)
+
+    def _failed_attempt_cost(self) -> float:
+        """Time one losing test-and-back-off attempt burns: set the entry,
+        wait for loop-back, scan the array, clear the entry."""
+        costs = self.cluster.config.costs
+        return (2 * costs.mc_lock_overhead + costs.mc_latency
+                + 0.1 * len(self.region))
+
+    # --- acquire -------------------------------------------------------------
+
+    def acquire(self, proc: Processor):
+        """Generator: acquire the lock, then run acquire-side consistency."""
+        costs = self.cluster.config.costs
+        mc = self.cluster.mc
+        if self.two_level:
+            # Local ll/sc phase: at most one competitor per node.
+            proc.charge(costs.llsc_lock, "protocol")
+            node_id = proc.node.id
+            while self._node_flag[node_id] is not None:
+                yield Wait(self._node_cond[node_id],
+                           lambda: self._node_flag[node_id] is None,
+                           bucket="comm_wait")
+            self._node_flag[node_id] = proc.global_id
+            proc.charge(costs.two_level_lock_extra, "protocol")
+
+        slot = self._slot(proc)
+        if (self._holder is not None or self._queue
+                or proc.clock < self._free_visible_at):
+            # Contended: join the FIFO; one failed attempt is charged now
+            # (we set our entry, saw a conflict, cleared it) and one more
+            # on each handoff we lose.
+            self.contended_retries += 1
+            proc.charge(self._failed_attempt_cost(), "protocol")
+            me = proc.global_id
+            self._queue.append(me)
+            yield Wait(self._grant,
+                       lambda: self._holder is None
+                       and self._queue and self._queue[0] == me
+                       and proc.clock >= self._free_visible_at,
+                       bucket="comm_wait")
+            self._queue.popleft()
+
+        # Winning attempt: claim first (the loop-back wait yields, and
+        # another contender must see the lock as taken meanwhile), then
+        # set our entry, wait for loop-back, read the array.
+        self._holder = proc.global_id
+        proc.charge(costs.mc_lock_overhead, "protocol")
+        mc.write_word(self.region, slot, 1, proc.clock, category="sync")
+        yield Sleep(costs.mc_latency, bucket="comm_wait")
+        proc.charge(0.1 * len(self.region), "protocol")  # array scan
+
+        proc.stats.bump("lock_acquires")
+        self.protocol.acquire_sync(proc)
+
+    # --- release -------------------------------------------------------------
+
+    def release(self, proc: Processor) -> None:
+        """Run release-side consistency, then free the lock (non-blocking)."""
+        if self._holder != proc.global_id:
+            raise SimulationError(
+                f"processor {proc.global_id} does not hold lock "
+                f"{self.lock_id} (holder: {self._holder})")
+        self.protocol.release_sync(proc)
+        costs = self.cluster.config.costs
+        slot = self._slot(proc)
+        proc.charge(costs.mc_lock_overhead, "protocol")
+        self.cluster.mc.write_word(self.region, slot, 0, proc.clock,
+                                   category="sync")
+        self._holder = None
+        # The release becomes globally visible after loop-back; waiters
+        # (including any that park between now and then) wake at that time.
+        visible = proc.clock + costs.mc_latency
+        self._free_visible_at = visible
+        sim = self.cluster.sim
+        sim.schedule(max(visible, sim.now),
+                     lambda: self._grant.fire(visible))
+        if self.two_level:
+            node_id = proc.node.id
+            self._node_flag[node_id] = None
+            proc.charge(costs.llsc_lock, "protocol")
+            self._node_cond[node_id].fire(proc.clock)

@@ -1,0 +1,9 @@
+"""Virtual-memory substrate: frames, permissions, page tables, twins, diffs."""
+
+from .diffs import (Diff, apply_diff, flush_update, incoming_diff, make_twin,
+                    outgoing_diff)
+from .page import FrameStore, Perm
+from .pagetable import PageTable
+
+__all__ = ["Perm", "FrameStore", "PageTable", "Diff", "make_twin",
+           "outgoing_diff", "apply_diff", "flush_update", "incoming_diff"]

@@ -1,0 +1,91 @@
+"""Page frames and access permissions.
+
+Shared memory is an array of 64-bit words split into pages. Each *owner*
+(an SMP node under the two-level protocols, an individual processor under
+the one-level protocols — the defining difference between them) has at
+most one physical frame per page; all processors of a node share that
+frame, which is exactly the paper's "all processors on a node share the
+same physical frame for a shared data page" and is what lets hardware
+coherence coalesce protocol transactions.
+
+Frames are real numpy arrays: the protocols genuinely move application
+data through twins, diffs, and home-node master copies, so a coherence
+bug shows up as a wrong numerical answer.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..errors import ProtocolError
+
+
+class Perm(enum.IntEnum):
+    """Page access permissions, loosest-to-strictest ordered."""
+
+    INVALID = 0
+    READ = 1
+    WRITE = 2  # read-write
+
+    @classmethod
+    def loosest(cls, perms) -> "Perm":
+        """The loosest permission among ``perms`` (directory word rule)."""
+        return cls(max(perms, default=cls.INVALID))
+
+
+class FrameStore:
+    """Physical page frames for every owner.
+
+    ``owner`` ids index whatever replication domain the protocol uses
+    (node ids for two-level, processor ids for one-level). Frames are
+    created lazily on first map and dropped on unmap; the *home* owner's
+    frame is the master copy and is created eagerly.
+    """
+
+    def __init__(self, num_owners: int, num_pages: int,
+                 words_per_page: int) -> None:
+        if num_owners < 1 or num_pages < 1 or words_per_page < 1:
+            raise ProtocolError("degenerate frame store geometry")
+        self.num_owners = num_owners
+        self.num_pages = num_pages
+        self.words_per_page = words_per_page
+        self._frames: list[dict[int, np.ndarray]] = [
+            {} for _ in range(num_owners)]
+
+    def has_frame(self, owner: int, page: int) -> bool:
+        return page in self._frames[owner]
+
+    def frame(self, owner: int, page: int) -> np.ndarray:
+        """The owner's frame for ``page``; raises if not mapped."""
+        try:
+            return self._frames[owner][page]
+        except KeyError:
+            raise ProtocolError(
+                f"owner {owner} has no frame for page {page}") from None
+
+    def map_frame(self, owner: int, page: int,
+                  contents: np.ndarray | None = None) -> np.ndarray:
+        """Create (or return) the owner's frame, optionally initializing it."""
+        frames = self._frames[owner]
+        if page in frames:
+            frame = frames[page]
+            if contents is not None:
+                frame[:] = contents
+            return frame
+        if contents is not None:
+            frame = np.array(contents, dtype=np.float64, copy=True)
+        else:
+            frame = np.zeros(self.words_per_page, dtype=np.float64)
+        frames[page] = frame
+        return frame
+
+    def unmap_frame(self, owner: int, page: int) -> None:
+        self._frames[owner].pop(page, None)
+
+    def frames_of(self, owner: int) -> dict[int, np.ndarray]:
+        return self._frames[owner]
+
+    def resident_pages(self, owner: int) -> list[int]:
+        return sorted(self._frames[owner])

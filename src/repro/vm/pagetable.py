@@ -1,0 +1,59 @@
+"""Per-owner page tables with per-processor permissions.
+
+Under the two-level protocols each SMP node has one page table whose rows
+carry a permission per *local processor* (the second-level directory's
+mapping information); under the one-level protocols each processor is its
+own owner with a single-column table. Permission changes model
+``mprotect`` calls; the protocols charge the measured cost.
+"""
+
+from __future__ import annotations
+
+from .page import Perm
+
+
+class PageTable:
+    """Permissions for one owner: ``perm(page, proc)`` for local processors."""
+
+    def __init__(self, num_pages: int, procs: int) -> None:
+        self.num_pages = num_pages
+        self.procs = procs
+        # One row per page; rows are plain lists for cheap fast-path access.
+        self.rows: list[list[int]] = [[Perm.INVALID] * procs
+                                      for _ in range(num_pages)]
+
+    def perm(self, page: int, proc: int) -> Perm:
+        return Perm(self.rows[page][proc])
+
+    def set_perm(self, page: int, proc: int, perm: Perm) -> None:
+        self.rows[page][proc] = int(perm)
+
+    def loosest(self, page: int) -> Perm:
+        """The loosest permission any local processor holds (directory rule)."""
+        return Perm(max(self.rows[page]))
+
+    def procs_with(self, page: int, at_least: Perm) -> list[int]:
+        return [i for i, p in enumerate(self.rows[page]) if p >= at_least]
+
+    def writers(self, page: int) -> list[int]:
+        return self.procs_with(page, Perm.WRITE)
+
+    def mapped(self, page: int) -> list[int]:
+        return self.procs_with(page, Perm.READ)
+
+    def downgrade_writers(self, page: int, to: Perm = Perm.READ) -> list[int]:
+        """Drop every write mapping to ``to``; returns affected processors."""
+        row = self.rows[page]
+        affected = []
+        for i, p in enumerate(row):
+            if p >= Perm.WRITE:
+                row[i] = int(to)
+                affected.append(i)
+        return affected
+
+    def invalidate_all(self, page: int) -> list[int]:
+        row = self.rows[page]
+        affected = [i for i, p in enumerate(row) if p > Perm.INVALID]
+        for i in affected:
+            row[i] = int(Perm.INVALID)
+        return affected

@@ -1,0 +1,123 @@
+"""End-to-end application correctness: every benchmark application, run
+under every protocol, must produce the same results as its uninstrumented
+sequential execution. Because the protocols genuinely move the data
+(twins, diffs, master copies), these are the strongest coherence tests in
+the suite.
+"""
+
+import pytest
+
+from repro import MachineConfig, run_and_verify, run_sequential
+from repro.apps import ALL_APPS, make_app
+
+SMALL = MachineConfig(nodes=2, procs_per_node=2, page_bytes=512)
+WIDE = MachineConfig(nodes=4, procs_per_node=1, page_bytes=512)
+PAPER_SHAPE = MachineConfig(nodes=4, procs_per_node=2, page_bytes=512)
+
+APP_NAMES = list(ALL_APPS)
+
+
+@pytest.mark.parametrize("app_name", APP_NAMES)
+@pytest.mark.parametrize("protocol", ["2L", "2LS", "1LD", "1L"])
+def test_app_correct_under_protocol(app_name, protocol):
+    app = make_app(app_name)
+    cmp = run_and_verify(app, app.small_params(), SMALL, protocol=protocol)
+    assert cmp.verified, (f"{app_name} under {protocol}: max error "
+                          f"{cmp.max_error}")
+    assert cmp.run.exec_time_us > 0
+
+
+@pytest.mark.parametrize("app_name", APP_NAMES)
+def test_app_correct_one_proc_per_node(app_name):
+    app = make_app(app_name)
+    cmp = run_and_verify(app, app.small_params(), WIDE, protocol="2L")
+    assert cmp.verified
+
+
+@pytest.mark.parametrize("app_name", ["SOR", "Gauss", "Em3d", "Water"])
+@pytest.mark.parametrize("protocol", ["1LD", "1L"])
+def test_app_correct_with_home_node_opt(app_name, protocol):
+    app = make_app(app_name)
+    cmp = run_and_verify(app, app.small_params(), PAPER_SHAPE,
+                         protocol=protocol, home_opt=True)
+    assert cmp.verified
+
+
+@pytest.mark.parametrize("app_name", ["SOR", "Barnes", "Ilink"])
+def test_app_correct_with_global_lock_directory(app_name):
+    app = make_app(app_name)
+    cmp = run_and_verify(app, app.small_params(), PAPER_SHAPE,
+                         protocol="2L", lock_free=False)
+    assert cmp.verified
+
+
+@pytest.mark.parametrize("app_name", APP_NAMES)
+def test_app_sequential_is_deterministic(app_name):
+    app = make_app(app_name)
+    env1, t1 = run_sequential(app, app.small_params(), SMALL)
+    env2, t2 = run_sequential(app, app.small_params(), SMALL)
+    assert t1 == t2
+    assert (env1.mem == env2.mem).all()
+
+
+@pytest.mark.parametrize("app_name", APP_NAMES)
+def test_parallel_run_is_deterministic(app_name):
+    from repro import run_app
+    app = make_app(app_name)
+    r1 = run_app(app, app.small_params(), SMALL, "2L")
+    r2 = run_app(make_app(app_name), app.small_params(), SMALL, "2L")
+    assert r1.exec_time_us == r2.exec_time_us
+    assert r1.stats.table3_row() == r2.stats.table3_row()
+
+
+class TestAppCharacteristics:
+    """The paper's qualitative per-application properties (Section 3.2)."""
+
+    def test_barnes_uses_no_locks(self):
+        from repro import run_app
+        app = make_app("Barnes")
+        run = run_app(app, app.small_params(), SMALL, "2L")
+        assert run.stats.counter("lock_acquires") == 0
+        assert run.stats.counter("barriers") > 0
+
+    def test_water_uses_locks(self):
+        from repro import run_app
+        app = make_app("Water")
+        run = run_app(app, app.small_params(), SMALL, "2L")
+        assert run.stats.counter("lock_acquires") > 0
+
+    def test_gauss_uses_flags(self):
+        from repro import run_app
+        app = make_app("Gauss")
+        run = run_app(app, app.small_params(), SMALL, "2L")
+        assert run.stats.counter("flag_acquires") > 0
+
+    def test_water_exercises_twin_maintenance(self):
+        # Water is the false-sharing, lock-based app: under 2L it should
+        # produce flush-updates or incoming diffs; under 2LS, shootdowns.
+        from repro import run_app
+        app = make_app("Water")
+        params = app.default_params()
+        cfg = MachineConfig(nodes=4, procs_per_node=2, page_bytes=512)
+        r2l = run_app(app, params, cfg, "2L")
+        twin_traffic = (r2l.stats.counter("flush_updates")
+                        + r2l.stats.counter("incoming_diffs"))
+        assert twin_traffic > 0
+        r2ls = run_app(make_app("Water"), params, cfg, "2LS")
+        assert r2ls.stats.counter("shootdowns") > 0
+
+    def test_sor_mostly_exclusive(self):
+        # Band-partitioned SOR: interior pages are single-node and should
+        # ride in exclusive mode.
+        from repro import run_app
+        app = make_app("SOR")
+        run = run_app(app, app.default_params(), PAPER_SHAPE, "2L")
+        assert run.stats.counter("excl_transitions") > 0
+
+    def test_tsp_finds_optimum(self):
+        # Non-deterministic search must still find the exact optimum.
+        app = make_app("TSP")
+        cmp = run_and_verify(app, app.small_params(), PAPER_SHAPE, "2L")
+        assert cmp.verified
+        best = cmp.run.array("best")
+        assert best[0] < 1e17  # a real tour was found

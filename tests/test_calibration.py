@@ -1,0 +1,87 @@
+"""Tests for the calibration plumbing: the _compute_scale knob and the
+per-application write-doubling cost."""
+
+import pytest
+
+from repro import MachineConfig, run_app, run_sequential
+from repro.apps import make_app
+from repro.apps.base import Application
+
+CFG = MachineConfig(nodes=2, procs_per_node=2, page_bytes=512)
+
+
+class TestComputeScale:
+    def test_sequential_time_scales_linearly(self):
+        app = make_app("Em3d")
+        p1 = app.small_params()
+        p2 = dict(p1, _compute_scale=3.0)
+        _, t1 = run_sequential(app, p1, CFG)
+        _, t2 = run_sequential(make_app("Em3d"), p2, CFG)
+        assert t2 == pytest.approx(3.0 * t1, rel=1e-6)
+
+    def test_parallel_compute_scales_but_protocol_does_not(self):
+        app = make_app("Em3d")
+        p1 = app.small_params()
+        p2 = dict(p1, _compute_scale=4.0)
+        r1 = run_app(app, p1, CFG, "2L")
+        r2 = run_app(make_app("Em3d"), p2, CFG, "2L")
+        u1 = r1.stats.aggregate.buckets["user"]
+        u2 = r2.stats.aggregate.buckets["user"]
+        assert u2 == pytest.approx(4.0 * u1, rel=0.05)
+        # Protocol work (faults, fetches) is independent of compute density.
+        pr1 = r1.stats.aggregate.buckets["protocol"]
+        pr2 = r2.stats.aggregate.buckets["protocol"]
+        assert pr2 == pytest.approx(pr1, rel=0.05)
+
+    def test_scale_does_not_change_results(self):
+        import numpy as np
+        app = make_app("Em3d")
+        p1 = app.small_params()
+        p2 = dict(p1, _compute_scale=2.0)
+        r1 = run_app(app, p1, CFG, "2L")
+        r2 = run_app(make_app("Em3d"), p2, CFG, "2L")
+        assert np.allclose(r1.array("e"), r2.array("e"))
+
+
+class TestWriteDoubleCost:
+    class _Writer(Application):
+        name = "Writer"
+        write_double_us = None
+
+        def declare(self, segment, params):
+            segment.alloc("x", 64)
+
+        def worker(self, env, params):
+            env.end_init()
+            yield from env.barrier()
+            if env.rank == 0:
+                for i in range(32):
+                    env.set(env.arr("x"), i, float(i))
+                yield env.compute(10.0)
+            yield from env.barrier()
+
+        def result_arrays(self, params):
+            return ["x"]
+
+    def _doubling_time(self, cost):
+        app = self._Writer()
+        app.write_double_us = cost
+        run = run_app(app, {}, CFG, "1L")
+        return (run.stats.aggregate.buckets["write_double"],
+                run.stats.counter("doubled_words"))
+
+    def test_default_uses_cost_model(self):
+        time_us, words = self._doubling_time(None)
+        assert words > 0
+        base = words * CFG.costs.mc_word_write
+        # Doubling into a home-local master adds bus (cache-penalty) time.
+        assert base <= time_us <= base + words * 1.0
+
+    def test_app_override_scales_doubling(self):
+        time_us, words = self._doubling_time(50.0)
+        assert words * 50.0 <= time_us <= words * 51.0
+
+    def test_benchmarks_declare_doubling_costs(self):
+        # The calibrated applications carry their scaled doubling costs.
+        for name in ("SOR", "LU", "Gauss", "Ilink", "Barnes", "Water"):
+            assert make_app(name).write_double_us is not None, name

@@ -1,0 +1,134 @@
+"""Unit tests for the global directory and write-notice structures."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import ProtocolError
+from repro.protocol.directory import (NO_HOLDER, DirectoryLockModel,
+                                      DirEntry, DirWord, GlobalDirectory,
+                                      PageMeta)
+from repro.protocol.writenotice import (NLEList, NoticeBoard, PerProcNotices)
+from repro.vm.page import Perm
+
+
+def small_config(**kw):
+    kw.setdefault("nodes", 4)
+    kw.setdefault("procs_per_node", 1)
+    kw.setdefault("page_bytes", 512)
+    kw.setdefault("shared_bytes", 512 * 16)
+    return MachineConfig(**kw)
+
+
+class TestDirEntry:
+    def test_sharers(self):
+        entry = DirEntry(words=[DirWord(Perm.READ), DirWord(),
+                                DirWord(Perm.WRITE)], home_owner=0)
+        assert entry.sharers() == [0, 2]
+
+    def test_single_exclusive_holder(self):
+        entry = DirEntry(words=[DirWord(), DirWord(Perm.WRITE, 5)],
+                         home_owner=0)
+        assert entry.exclusive_holder() == (1, 5)
+
+    def test_no_holder(self):
+        entry = DirEntry(words=[DirWord(), DirWord()], home_owner=0)
+        assert entry.exclusive_holder() is None
+
+    def test_two_holders_is_corruption(self):
+        entry = DirEntry(words=[DirWord(Perm.WRITE, 1),
+                                DirWord(Perm.WRITE, 2)], home_owner=0)
+        with pytest.raises(ProtocolError, match="corrupt"):
+            entry.exclusive_holder()
+
+
+class TestGlobalDirectory:
+    def test_round_robin_home_per_superpage(self):
+        cfg = small_config(superpage_pages=2)
+        d = GlobalDirectory(cfg, num_owners=4)
+        homes = [d.home(p) for p in range(cfg.num_pages)]
+        # pages 0,1 -> owner 0; 2,3 -> owner 1; ...
+        assert homes[:8] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_lock_free_update_cost_constant(self):
+        cfg = small_config()
+        d = GlobalDirectory(cfg, 4)
+
+        class P:
+            clock = 0.0
+
+        assert d.update_cost(P()) == cfg.costs.dir_update
+
+    def test_global_lock_model_serializes(self):
+        cfg = small_config()
+        model = DirectoryLockModel(cfg)
+        c1 = model.update_cost(0.0)
+        c2 = model.update_cost(0.0)  # queued behind the first
+        assert c1 == pytest.approx(16.0)
+        assert c2 == pytest.approx(32.0)
+
+    def test_broadcast_bytes(self):
+        cfg = small_config()
+        assert GlobalDirectory(cfg, 8).broadcast_bytes() == 32
+
+
+class TestNoticeBoard:
+    def test_post_and_collect_respects_visibility(self):
+        board = NoticeBoard(0, 4)
+        board.post(1, page=7, visible_at=10.0)
+        board.post(1, page=8, visible_at=20.0)
+        got = board.collect(upto=15.0)
+        assert [n.page for n in got] == [7]
+        assert board.pending() == 1
+        got = board.collect(upto=25.0)
+        assert [n.page for n in got] == [8]
+
+    def test_bins_consumed_in_order(self):
+        board = NoticeBoard(0, 3)
+        board.post(1, 1, 5.0)
+        board.post(2, 2, 3.0)
+        got = board.collect(10.0)
+        assert [(n.from_owner, n.page) for n in got] == [(1, 1), (2, 2)]
+
+    def test_visibility_prefix_only(self):
+        # An early-visible notice behind a late one stays queued (in-order
+        # bins, like the hardware's write ordering).
+        board = NoticeBoard(0, 2)
+        board.post(1, 1, 20.0)
+        board.post(1, 2, 10.0)
+        assert board.collect(15.0) == []
+
+
+class TestPerProcNotices:
+    def test_bitmap_dedup(self):
+        n = PerProcNotices()
+        assert n.add(5) is True
+        assert n.add(5) is False
+        assert n.redundant_drops == 1
+        assert len(n) == 1
+
+    def test_drain_clears(self):
+        n = PerProcNotices()
+        n.add(1)
+        n.add(2)
+        assert n.drain() == [1, 2]
+        assert len(n) == 0
+        assert n.add(1) is True  # bitmap cleared too
+
+
+class TestNLEList:
+    def test_take_all_sorted_and_clears(self):
+        nle = NLEList()
+        nle.add(5)
+        nle.add(2)
+        nle.add(5)
+        assert nle.take_all() == [2, 5]
+        assert len(nle) == 0
+
+
+class TestPageMeta:
+    def test_defaults(self):
+        meta = PageMeta()
+        assert meta.flush_ts == -1
+        assert meta.update_ts == -1
+        assert meta.wn_ts == -1
+        assert meta.twin is None

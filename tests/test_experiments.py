@@ -1,0 +1,106 @@
+"""Smoke tests for the experiment harnesses (small scale) and reporters."""
+
+import pytest
+
+from repro.experiments.configs import (APP_ORDER, PLACEMENT_ORDER,
+                                       PROTOCOL_ORDER, experiment_config)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.stats.report import format_table, kilo, pct_change
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table("T", ["a", "b"],
+                           [("row", [1, 2.5]), ("other", [None, "x"])])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "row" in out and "2.50" in out and "-" in out
+
+    def test_kilo(self):
+        assert kilo(2500) == 2.5
+
+    def test_pct_change(self):
+        assert pct_change(90.0, 100.0) == pytest.approx(10.0)
+        assert pct_change(110.0, 100.0) == pytest.approx(-10.0)
+        assert pct_change(1.0, 0.0) == 0.0
+
+    def test_format_large_numbers(self):
+        out = format_table("T", ["v"], [("big", [1234567])])
+        assert "1 234 567" in out
+
+
+class TestConfigs:
+    def test_canonical_orders(self):
+        assert len(APP_ORDER) == 8
+        assert PROTOCOL_ORDER == ("2L", "2LS", "1LD", "1L")
+        assert len(PLACEMENT_ORDER) == 9
+
+    def test_experiment_config_placements(self):
+        cfg = experiment_config("24:3")
+        assert cfg.total_procs == 24
+        assert cfg.procs_per_node == 3
+
+
+class TestTable1:
+    def test_costs_and_format(self):
+        results = run_table1()
+        out = results.format()
+        assert "Lock Acquire" in out
+        assert results.lock_acquire["2L"] > results.lock_acquire["1LD"]
+        assert results.page_transfer_remote["1LD"] > 0
+
+
+class TestTable2:
+    def test_rows_and_format(self):
+        rows = run_table2(apps=("SOR", "Em3d"))
+        out = format_table2(rows)
+        assert "SOR" in out and "Em3d" in out
+        assert all(r.seq_time_s > 0 for r in rows)
+
+
+class TestSmallScaleHarnesses:
+    """Run the table/figure harnesses on a small platform + small apps."""
+
+    def test_table3_small(self):
+        from dataclasses import replace
+        from repro.experiments.configs import FULL_PLATFORM
+        cfg = FULL_PLATFORM.with_placement(8, 2)
+        res = run_table3(apps=("Em3d",), protocols=("2L", "1LD"),
+                         config=cfg)
+        row = res.stats["Em3d"]["2L"]
+        assert row["barriers"] > 0
+        assert "Em3d" in res.format()
+
+    def test_figure6_small(self):
+        from repro.experiments.configs import FULL_PLATFORM
+        cfg = FULL_PLATFORM.with_placement(8, 2)
+        res = run_figure6(apps=("Em3d",), protocols=("2L", "1L"),
+                          config=cfg)
+        assert sum(res.breakdown["Em3d"]["2L"].values()) == \
+            pytest.approx(100.0)
+        assert res.breakdown["Em3d"]["1L"]["write_double"] > 0
+
+    def test_figure7_small(self):
+        res = run_figure7(apps=("Em3d",), protocols=("2L",),
+                          placements=("4:1", "8:4"), home_opt=False)
+        sp = res.speedup["Em3d"]["2L"]
+        assert set(sp) == {"4:1", "8:4"}
+        assert sp["8:4"] > sp["4:1"] * 0.8
+        assert "Em3d" in res.format()
+
+
+class TestRunnerCLI:
+    def test_unknown_app_rejected(self):
+        from repro.experiments.runner import main
+        with pytest.raises(SystemExit):
+            main(["table2", "NotAnApp"])
+
+    def test_table2_cli(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["table2", "Em3d"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out

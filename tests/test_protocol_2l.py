@@ -1,0 +1,340 @@
+"""Scenario tests for the Cashmere-2L protocol (and 2LS) using scripted
+workers on small clusters.
+
+These exercise the protocol mechanisms directly: twins, incoming and
+outgoing diffs, exclusive mode, no-longer-exclusive lists, directory
+maintenance, timestamps, and first-touch home relocation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.config import MachineConfig
+from repro.protocol import make_protocol
+from repro.protocol.directory import NO_HOLDER
+from repro.sim.process import Compute, ProcessGroup
+from repro.sync import Barrier
+from repro.vm.page import Perm
+
+
+def make(nodes=2, ppn=2, protocol="2L", pages=8, **kw):
+    kw.setdefault("superpage_pages", 2)
+    cfg = MachineConfig(nodes=nodes, procs_per_node=ppn, page_bytes=512,
+                        shared_bytes=512 * pages, **kw)
+    cluster = Cluster(cfg)
+    proto = make_protocol(protocol, cluster)
+    return cluster, proto
+
+
+def run_scripts(cluster, scripts):
+    """Run one generator per processor (padding with idlers)."""
+    group = ProcessGroup(cluster.sim)
+
+    def idle():
+        yield Compute(0.1)
+
+    for i, proc in enumerate(cluster.processors):
+        gen = scripts[i]() if i < len(scripts) and scripts[i] else idle()
+        group.spawn(proc, gen, f"p{i}")
+    group.run()
+
+
+class TestExclusiveMode:
+    def test_sole_writer_enters_exclusive(self):
+        cluster, proto = make()
+        p0 = cluster.processors[0]
+
+        def w0():
+            proto.store(p0, 4, 0, 1.0)
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0])
+        entry = proto.directory.entry(4)
+        assert entry.exclusive_holder() == (0, 0)
+        assert p0.stats.counters["excl_transitions"] == 1
+        # Exclusive pages have no twin and are not dirty.
+        assert proto.node_state[0].meta.get(4) is None or \
+            proto.node_state[0].meta[4].twin is None
+        assert 4 not in proto.proc_state(p0).dirty
+
+    def test_remote_read_breaks_exclusive(self):
+        cluster, proto = make()
+        p0 = cluster.processors[0]
+        p2 = cluster.processors[2]  # node 1
+
+        def w0():
+            proto.store(p0, 4, 3, 7.5)
+            yield Compute(50.0)
+
+        def w2():
+            yield Compute(100.0)
+            assert proto.load(p2, 4, 3) == 7.5
+
+        run_scripts(cluster, [w0, None, w2])
+        entry = proto.directory.entry(4)
+        assert entry.exclusive_holder() is None
+        # The flush reached the home master.
+        assert proto.master(4)[3] == 7.5
+
+    def test_break_gives_nle_entries_to_other_local_writers(self):
+        cluster, proto = make()
+        p0, p1 = cluster.processors[0], cluster.processors[1]
+        p2 = cluster.processors[2]
+        page = 2  # superpage 1 -> home owner 1: NOT node 0, so twins apply
+        assert proto.directory.home(page) != 0
+
+        def w0():
+            proto.store(p0, page, 0, 1.0)  # exclusive
+            yield Compute(10.0)
+
+        def w1():
+            yield Compute(5.0)
+            proto.store(p1, page, 1, 2.0)  # joins while exclusive
+            yield Compute(100.0)
+
+        def w2():
+            yield Compute(50.0)
+            proto.load(p2, page, 0)  # break from node 1
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0, w1, w2])
+        st1 = proto.proc_state(p1)
+        # p1 (still holding a write mapping) got a no-longer-exclusive entry
+        # and the node now has a twin.
+        assert page in st1.nle.pages or page in st1.dirty
+        assert proto.node_state[0].meta[page].twin is not None
+
+    def test_exclusive_page_needs_no_flush(self):
+        cluster, proto = make()
+        p0 = cluster.processors[0]
+
+        def w0():
+            proto.store(p0, 4, 0, 1.0)
+            proto.release_sync(p0)
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0])
+        assert p0.stats.counters["write_notices"] == 0
+
+
+class TestTwoWayDiffing:
+    def test_concurrent_writers_merge_through_home(self):
+        # Nodes 0 and 1 write disjoint words of one page; both releases
+        # must merge at the home without losing either.
+        cluster, proto = make(nodes=3, ppn=1)
+        p0, p1 = cluster.processors[0], cluster.processors[1]
+        page = proto.config.superpage_pages * 2  # home = node 2 (neither)
+        assert proto.directory.home(page) == 2
+
+        def w0():
+            proto.store(p0, page, 0, 10.0)
+            yield Compute(5.0)
+            proto.release_sync(p0)
+            yield Compute(1.0)
+
+        def w1():
+            proto.store(p1, page, 1, 20.0)
+            yield Compute(8.0)
+            proto.release_sync(p1)
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0, w1])
+        master = proto.master(page)
+        assert master[0] == 10.0
+        assert master[1] == 20.0
+
+    def test_incoming_diff_preserves_local_writes(self):
+        cluster, proto = make(nodes=3, ppn=1)
+        p0, p1 = cluster.processors[0], cluster.processors[1]
+        page = proto.config.superpage_pages * 2
+
+        def w1():
+            proto.load(p1, page, 0)  # become a sharer (prevents exclusive)
+            yield Compute(30.0)
+            proto.store(p1, page, 5, 55.0)
+            yield Compute(50.0)
+            proto.release_sync(p1)
+            yield Compute(1.0)
+
+        def w0():
+            yield Compute(20.0)
+            proto.store(p0, page, 3, 33.0)  # local dirty, twin exists
+            yield Compute(300.0)
+            proto.acquire_sync(p0)          # sees the notice, invalidates
+            # refault: incoming diff merges word 5, preserves word 3
+            assert proto.load(p0, page, 5) == 55.0
+            assert proto.load(p0, page, 3) == 33.0
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0, w1])
+        assert p0.stats.counters["incoming_diffs"] >= 1
+
+    def test_flush_update_counted_with_concurrent_local_writers(self):
+        cluster, proto = make(nodes=2, ppn=2)
+        p0, p1 = cluster.processors[0], cluster.processors[1]
+        p2 = cluster.processors[2]
+        page = proto.config.superpage_pages  # home = node 1
+        assert proto.directory.home(page) == 1
+
+        def w2():
+            proto.load(p2, page, 0)  # home-node sharer prevents exclusive
+            yield Compute(1.0)
+
+        def w0():
+            yield Compute(5.0)
+            proto.store(p0, page, 0, 1.0)
+            yield Compute(10.0)
+            proto.release_sync(p0)  # p1 still holds a write mapping
+            yield Compute(1.0)
+
+        def w1():
+            yield Compute(7.0)
+            proto.store(p1, page, 1, 2.0)
+            yield Compute(200.0)
+            proto.release_sync(p1)
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0, w1, w2])
+        total_fu = sum(p.stats.counters["flush_updates"]
+                       for p in cluster.processors)
+        assert total_fu >= 1
+        assert proto.master(page)[0] == 1.0
+        assert proto.master(page)[1] == 2.0
+
+
+class TestShootdownVariant:
+    def test_2ls_shoots_down_on_release_with_writers(self):
+        cluster, proto = make(nodes=2, ppn=2, protocol="2LS")
+        p0, p1 = cluster.processors[0], cluster.processors[1]
+        p2 = cluster.processors[2]
+        page = proto.config.superpage_pages
+
+        def w2():
+            proto.load(p2, page, 0)  # home-node sharer prevents exclusive
+            yield Compute(1.0)
+
+        def w0():
+            yield Compute(5.0)
+            proto.store(p0, page, 0, 1.0)
+            yield Compute(10.0)
+            proto.release_sync(p0)
+            yield Compute(1.0)
+
+        def w1():
+            yield Compute(7.0)
+            proto.store(p1, page, 1, 2.0)
+            yield Compute(200.0)
+            proto.release_sync(p1)
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0, w1, w2])
+        shoots = sum(p.stats.counters["shootdowns"]
+                     for p in cluster.processors)
+        assert shoots >= 1
+        # The shootdown downgraded p1's mapping; data still merged.
+        assert proto.master(page)[0] == 1.0
+        assert proto.master(page)[1] == 2.0
+        # 2LS never uses flush-updates or incoming diffs.
+        assert sum(p.stats.counters["flush_updates"]
+                   for p in cluster.processors) == 0
+        assert sum(p.stats.counters["incoming_diffs"]
+                   for p in cluster.processors) == 0
+
+
+class TestTimestampCoalescing:
+    def test_second_local_fault_skips_fetch(self):
+        # One fetch serves both processors of a node (the key two-level
+        # optimization).
+        cluster, proto = make(nodes=2, ppn=2)
+        p0, p1 = cluster.processors[0], cluster.processors[1]
+        page = proto.config.superpage_pages  # home = node 1
+
+        def w0():
+            proto.load(p0, page, 0)
+            yield Compute(1.0)
+
+        def w1():
+            yield Compute(500.0)  # after p0's fetch completes
+            proto.load(p1, page, 0)
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0, w1])
+        transfers = sum(p.stats.counters["page_transfers"]
+                        for p in cluster.processors)
+        assert transfers == 1
+        faults = sum(p.stats.counters["read_faults"]
+                     for p in cluster.processors)
+        assert faults == 2
+
+
+class TestHomeRelocation:
+    def test_first_touch_moves_home(self):
+        cluster, proto = make(nodes=2, ppn=1)
+        p1 = cluster.processors[1]
+        page = 0
+        assert proto.directory.home(page) == 0
+
+        def w1():
+            yield Compute(1.0)
+            proto.store(p1, page, 0, 9.0)
+            yield Compute(1.0)
+
+        proto.end_initialization()
+        run_scripts(cluster, [None, w1])
+        assert proto.directory.home(page) == 1
+        assert not proto.directory.entry(page).home_is_default
+        assert proto.master(page)[0] == 9.0
+        assert p1.stats.counters["home_relocations"] == 1
+
+    def test_whole_superpage_moves_together(self):
+        cluster, proto = make(nodes=2, ppn=1)
+        p1 = cluster.processors[1]
+        sp = proto.config.superpage_pages
+
+        def w1():
+            yield Compute(1.0)
+            proto.store(p1, 0, 0, 1.0)
+            yield Compute(1.0)
+
+        proto.end_initialization()
+        run_scripts(cluster, [None, w1])
+        for page in range(min(sp, proto.config.num_pages)):
+            assert proto.directory.home(page) == 1
+
+    def test_no_relocation_before_end_init(self):
+        cluster, proto = make(nodes=2, ppn=1)
+        p1 = cluster.processors[1]
+
+        def w1():
+            proto.store(p1, 0, 0, 1.0)
+            yield Compute(1.0)
+
+        run_scripts(cluster, [None, w1])
+        assert proto.directory.home(0) == 0
+
+
+class TestInvariants:
+    def test_invariants_hold_after_mixed_workload(self):
+        cluster, proto = make(nodes=2, ppn=2)
+        barrier = Barrier(cluster, proto)
+
+        def worker(proc, seed):
+            def gen():
+                for it in range(4):
+                    for k in range(6):
+                        page = (seed * 3 + k) % proto.config.num_pages
+                        if (seed + k + it) % 2:
+                            proto.store(proc, page, (seed + k) % 8,
+                                        float(seed * 100 + it))
+                        else:
+                            proto.load(proc, page, (seed + k) % 8)
+                        yield Compute(3.0)
+                    yield from barrier.wait(proc)
+            return gen
+
+        group = ProcessGroup(cluster.sim)
+        for i, proc in enumerate(cluster.processors):
+            group.spawn(proc, worker(proc, i)(), f"p{i}")
+        group.run()
+        proto.check_invariants()

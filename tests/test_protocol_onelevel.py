@@ -1,0 +1,238 @@
+"""Scenario tests for the one-level protocols (1LD, 1L) and the
+home-node optimization."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.config import MachineConfig
+from repro.protocol import make_protocol
+from repro.protocol.directory import NO_HOLDER
+from repro.sim.process import Compute, ProcessGroup
+from repro.vm.page import Perm
+
+
+def make(nodes=2, ppn=2, protocol="1LD", pages=8, home_opt=False, **kw):
+    kw.setdefault("superpage_pages", 2)
+    cfg = MachineConfig(nodes=nodes, procs_per_node=ppn, page_bytes=512,
+                        shared_bytes=512 * pages, **kw)
+    cluster = Cluster(cfg)
+    proto = make_protocol(protocol, cluster, home_opt=home_opt)
+    return cluster, proto
+
+
+def run_scripts(cluster, scripts):
+    group = ProcessGroup(cluster.sim)
+
+    def idle():
+        yield Compute(0.1)
+
+    for i, proc in enumerate(cluster.processors):
+        gen = scripts[i]() if i < len(scripts) and scripts[i] else idle()
+        group.spawn(proc, gen, f"p{i}")
+    group.run()
+
+
+class TestOwnersAreProcessors:
+    def test_owner_space(self):
+        cluster, proto = make(nodes=2, ppn=2)
+        assert proto.num_owners == 4
+        for proc in cluster.processors:
+            assert proto.owner_of(proc) == proc.global_id
+
+    def test_separate_frames_per_processor(self):
+        # Two processors of the same node keep independent copies.
+        cluster, proto = make(nodes=1, ppn=2)
+        p0, p1 = cluster.processors[0], cluster.processors[1]
+
+        def w0():
+            proto.store(p0, 2, 0, 1.0)
+            yield Compute(1.0)
+
+        def w1():
+            yield Compute(50.0)
+            proto.load(p1, 2, 0)
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0, w1])
+        f0 = proto.frames.frame(0, 2)
+        f1 = proto.frames.frame(1, 2)
+        assert f0 is not f1
+
+    def test_master_is_separate_from_home_frame(self):
+        # Even the home processor's working copy is distinct from the
+        # master region (Section 2.6 / Table 1 "local" transfers).
+        cluster, proto = make(nodes=2, ppn=1)
+        p0 = cluster.processors[0]
+        page = 0
+        assert proto.directory.home(page) == 0
+
+        def w0():
+            proto.store(p0, page, 0, 5.0)
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0])
+        assert proto.frames.frame(0, page) is not proto.master(page)
+
+
+class TestDiffingVsWriteThrough:
+    def test_1ld_merges_at_release(self):
+        cluster, proto = make(nodes=2, ppn=1, protocol="1LD")
+        p0 = cluster.processors[0]
+        page = 2  # home = owner 1
+
+        def w0():
+            proto.load(p0, page, 0)
+            proto.store(p0, page, 3, 9.0)
+            assert proto.master(page)[3] == 0.0  # not yet released
+            yield Compute(1.0)
+            proto.release_sync(p0)
+            assert proto.master(page)[3] == 9.0
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0])
+        assert p0.stats.counters["twin_creations"] == 1
+
+    def test_1l_writes_through_immediately(self):
+        cluster, proto = make(nodes=2, ppn=1, protocol="1L")
+        p0 = cluster.processors[0]
+        page = 2
+
+        def w0():
+            proto.store(p0, page, 3, 9.0)
+            assert proto.master(page)[3] == 9.0  # doubled on the fly
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0])
+        assert p0.stats.counters["twin_creations"] == 0
+        assert p0.stats.buckets["write_double"] > 0
+
+    def test_1l_store_range_doubles_vectorized(self):
+        cluster, proto = make(nodes=2, ppn=1, protocol="1L")
+        p0 = cluster.processors[0]
+        page = 2
+
+        def w0():
+            proto.store_range(p0, page, 4, np.array([1.0, 2.0, 3.0]))
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0])
+        assert list(proto.master(page)[4:7]) == [1.0, 2.0, 3.0]
+
+
+class TestOneLevelAcquireRelease:
+    def test_acquire_invalidates_all_noticed_pages(self):
+        cluster, proto = make(nodes=2, ppn=1, protocol="1LD")
+        p0, p1 = cluster.processors[0], cluster.processors[1]
+        page = 2
+
+        def w0():
+            proto.load(p0, page, 0)
+            yield Compute(5000.0)
+            proto.acquire_sync(p0)
+            # invalidated: no longer in the sharing set
+            assert 0 not in proto.directory.entry(page).sharers()
+            yield Compute(1.0)
+
+        def w1():
+            yield Compute(1000.0)
+            proto.load(p1, page, 0)
+            proto.store(p1, page, 1, 4.0)
+            yield Compute(20.0)
+            proto.release_sync(p1)
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0, w1])
+
+    def test_exclusive_entered_at_release_without_sharers(self):
+        cluster, proto = make(nodes=2, ppn=1, protocol="1LD")
+        p0 = cluster.processors[0]
+        page = 2
+
+        def w0():
+            proto.store(p0, page, 0, 1.0)
+            yield Compute(5.0)
+            proto.release_sync(p0)
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0])
+        assert proto.directory.entry(page).exclusive_holder() == (0, 0)
+        # Write permission retained: no fault on the next write.
+        assert proto.tables[0].perm(page, 0) == Perm.WRITE
+
+    def test_break_exclusive_fetches_latest(self):
+        cluster, proto = make(nodes=2, ppn=1, protocol="1LD")
+        p0, p1 = cluster.processors[0], cluster.processors[1]
+        page = 2
+
+        def w0():
+            proto.store(p0, page, 0, 1.0)  # includes a ~1 ms fetch
+            yield Compute(5.0)
+            proto.release_sync(p0)  # -> exclusive
+            proto.store(p0, page, 1, 2.0)  # untracked exclusive write
+            yield Compute(50.0)
+
+        def w1():
+            yield Compute(5000.0)  # well after w0's release
+            assert proto.load(p1, page, 1) == 2.0
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0, w1])
+        assert proto.directory.entry(page).exclusive_holder() is None
+
+
+class TestHomeNodeOptimization:
+    def test_home_node_procs_share_master_frame(self):
+        cluster, proto = make(nodes=2, ppn=2, protocol="1LD", home_opt=True)
+        p0, p1 = cluster.processors[0], cluster.processors[1]
+        page = 0  # home = proc 0, node 0
+
+        def w0():
+            proto.store(p0, page, 0, 3.0)
+            yield Compute(1.0)
+
+        def w1():
+            yield Compute(10.0)
+            # p1 is on the home node: reads the master directly, sees the
+            # write through hardware coherence without any transfer.
+            assert proto.load(p1, page, 0) == 3.0
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0, w1])
+        assert proto.frames.frame(0, page) is proto.master(page)
+        assert proto.frames.frame(1, page) is proto.master(page)
+        transfers = sum(p.stats.counters["page_transfers"]
+                        for p in cluster.processors)
+        assert transfers == 0
+
+    def test_home_opt_skips_twins(self):
+        cluster, proto = make(nodes=2, ppn=2, protocol="1LD", home_opt=True)
+        p0 = cluster.processors[0]
+
+        def w0():
+            proto.store(p0, 0, 0, 1.0)
+            yield Compute(1.0)
+            proto.release_sync(p0)
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0])
+        assert p0.stats.counters["twin_creations"] == 0
+
+    def test_off_node_procs_still_fetch(self):
+        cluster, proto = make(nodes=2, ppn=2, protocol="1LD", home_opt=True)
+        p0 = cluster.processors[0]
+        p2 = cluster.processors[2]  # node 1
+
+        def w0():
+            proto.store(p0, 0, 0, 7.0)
+            yield Compute(5.0)
+            proto.release_sync(p0)
+            yield Compute(1.0)
+
+        def w2():
+            yield Compute(100.0)
+            assert proto.load(p2, 0, 0) == 7.0
+            yield Compute(1.0)
+
+        run_scripts(cluster, [w0, None, w2])
+        assert p2.stats.counters["page_transfers"] == 1

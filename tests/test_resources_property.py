@@ -1,0 +1,64 @@
+"""Property-based tests for the interval-timeline resources."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import MultiChannelResource, SerialResource
+
+bookings = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=1000),
+              st.floats(min_value=0.1, max_value=50)),
+    min_size=1, max_size=60)
+
+
+@settings(max_examples=200, deadline=None)
+@given(bookings)
+def test_serial_resource_never_overlaps(reqs):
+    bus = SerialResource("bus")
+    granted = []
+    for start, dur in reqs:
+        begin, end = bus.acquire(start, dur)
+        assert begin >= start
+        assert abs((end - begin) - dur) < 1e-9
+        granted.append((begin, end))
+    granted.sort()
+    for (b1, e1), (b2, e2) in zip(granted, granted[1:]):
+        assert e1 <= b2 + 1e-9, "bookings overlap"
+
+
+@settings(max_examples=100, deadline=None)
+@given(bookings)
+def test_serial_resource_busy_time_conserved(reqs):
+    bus = SerialResource("bus")
+    for start, dur in reqs:
+        bus.acquire(start, dur)
+    assert abs(bus.busy_time - sum(d for _, d in reqs)) < 1e-6
+    # The merged timeline covers exactly busy_time worth of intervals.
+    covered = sum(e - b for b, e in bus._intervals)
+    assert abs(covered - bus.busy_time) < 1e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(bookings)
+def test_serial_resource_work_conserving(reqs):
+    """Every booking takes the EARLIEST gap that fits (no needless delay):
+    re-asking for the same slot after booking must land strictly later."""
+    bus = SerialResource("bus")
+    for start, dur in reqs:
+        begin, end = bus.acquire(start, dur)
+        assert bus.peek(start, dur) >= end - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(bookings, st.integers(min_value=1, max_value=4))
+def test_multichannel_capacity_respected(reqs, channels):
+    mc = MultiChannelResource(channels)
+    granted = []
+    for start, dur in reqs:
+        begin, end = mc.acquire(start, dur)
+        assert begin >= start
+        granted.append((begin, end))
+    # At no grant boundary do more than `channels` bookings overlap.
+    for point, _ in granted:
+        active = sum(1 for b, e in granted if b <= point < e)
+        assert active <= channels

@@ -1,0 +1,71 @@
+"""Unit tests for statistics collection and aggregation."""
+
+import pytest
+
+from repro.stats.counters import COUNTER_NAMES, ProcStats, RunStats
+
+
+class TestProcStats:
+    def test_charge_accumulates(self):
+        ps = ProcStats()
+        ps.charge(10.0, "user")
+        ps.charge(5.0, "protocol")
+        ps.charge(2.5, "user")
+        assert ps.buckets["user"] == 12.5
+        assert ps.total_time == 17.5
+
+    def test_bump(self):
+        ps = ProcStats()
+        ps.bump("read_faults")
+        ps.bump("read_faults", 3)
+        assert ps.counters["read_faults"] == 4
+
+    def test_merge(self):
+        a, b = ProcStats(), ProcStats()
+        a.charge(1.0, "user")
+        a.bump("barriers")
+        b.charge(2.0, "user")
+        a.merged_into(b)
+        assert b.buckets["user"] == 3.0
+        assert b.counters["barriers"] == 1
+
+    def test_counter_names_documented(self):
+        assert "write_notices" in COUNTER_NAMES
+        assert "shootdowns" in COUNTER_NAMES
+
+
+class TestRunStats:
+    def make(self):
+        procs = []
+        for i in range(4):
+            ps = ProcStats()
+            ps.charge(10.0 * (i + 1), "user")
+            ps.charge(5.0, "comm_wait")
+            ps.bump("page_transfers", i)
+            procs.append(ps)
+        return RunStats.collect(procs, exec_time_us=2_000_000.0,
+                                mc_traffic={"page": 1_000_000,
+                                            "diff": 500_000})
+
+    def test_aggregation(self):
+        run = self.make()
+        assert run.aggregate.buckets["user"] == 100.0
+        assert run.counter("page_transfers") == 6
+        assert run.exec_time_s == pytest.approx(2.0)
+        assert run.data_mbytes == pytest.approx(1.5)
+
+    def test_breakdown_fractions_normalized(self):
+        run = self.make()
+        fracs = run.breakdown_fractions()
+        assert sum(fracs.values()) == pytest.approx(1.0)
+        assert fracs["user"] == pytest.approx(100.0 / 120.0)
+
+    def test_breakdown_empty_run(self):
+        run = RunStats()
+        assert sum(run.breakdown_fractions().values()) == 0.0
+
+    def test_table3_row_fields(self):
+        row = self.make().table3_row()
+        assert row["page_transfers"] == 6
+        assert row["exec_time_s"] == pytest.approx(2.0)
+        assert row["data_mbytes"] == pytest.approx(1.5)

@@ -1,0 +1,219 @@
+"""Tests for Memory Channel locks, barriers, and flags.
+
+These run against a real cluster + protocol instance with scripted
+workers, checking mutual exclusion, barrier semantics, and the
+release/acquire consistency hooks.
+"""
+
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.config import MachineConfig
+from repro.errors import SimulationError
+from repro.protocol import make_protocol
+from repro.sim.process import Compute, ProcessGroup
+from repro.sync import Barrier, FlagSet, MCLock
+
+
+def make_cluster(nodes=2, ppn=2, protocol="2L"):
+    cfg = MachineConfig(nodes=nodes, procs_per_node=ppn, page_bytes=512,
+                        shared_bytes=512 * 8)
+    cluster = Cluster(cfg)
+    proto = make_protocol(protocol, cluster)
+    return cluster, proto
+
+
+def run_workers(cluster, gen_factory):
+    group = ProcessGroup(cluster.sim)
+    for proc in cluster.processors:
+        group.spawn(proc, gen_factory(proc), f"p{proc.global_id}")
+    group.run()
+
+
+class TestMCLock:
+    @pytest.mark.parametrize("protocol", ["2L", "1LD"])
+    def test_mutual_exclusion(self, protocol):
+        cluster, proto = make_cluster(2, 2, protocol)
+        lock = MCLock(cluster, proto, 0)
+        state = {"inside": 0, "max_inside": 0, "entries": 0}
+
+        def worker(proc):
+            for _ in range(5):
+                yield from lock.acquire(proc)
+                state["inside"] += 1
+                state["entries"] += 1
+                state["max_inside"] = max(state["max_inside"],
+                                          state["inside"])
+                yield Compute(10.0)
+                state["inside"] -= 1
+                lock.release(proc)
+                yield Compute(5.0)
+
+        run_workers(cluster, worker)
+        assert state["entries"] == 5 * cluster.num_procs
+        assert state["max_inside"] == 1
+
+    def test_uncontended_cost_near_paper(self):
+        # Table 1: ~11 us for one-level locks, ~19 us for two-level.
+        for protocol, expected in [("1LD", 11.0), ("2L", 19.0)]:
+            cluster, proto = make_cluster(2, 2, protocol)
+            lock = MCLock(cluster, proto, 0)
+            proc = cluster.processors[0]
+
+            def worker(p):
+                yield from lock.acquire(p)
+                lock.release(p)
+
+            group = ProcessGroup(cluster.sim)
+            group.spawn(proc, worker(proc), "p0")
+            group.run()
+            assert proc.clock == pytest.approx(expected, rel=0.5)
+
+    def test_lock_acquire_counter(self):
+        cluster, proto = make_cluster(1, 2)
+        lock = MCLock(cluster, proto, 0)
+
+        def worker(proc):
+            yield from lock.acquire(proc)
+            lock.release(proc)
+
+        run_workers(cluster, worker)
+        total = sum(p.stats.counters["lock_acquires"]
+                    for p in cluster.processors)
+        assert total == 2
+
+    def test_release_without_hold_raises(self):
+        cluster, proto = make_cluster(1, 1)
+        lock = MCLock(cluster, proto, 0)
+        with pytest.raises(SimulationError, match="does not hold"):
+            lock.release(cluster.processors[0])
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("protocol", ["2L", "2LS", "1LD", "1L"])
+    def test_no_one_departs_early(self, protocol):
+        cluster, proto = make_cluster(2, 2, protocol)
+        barrier = Barrier(cluster, proto)
+        arrived = []
+        departed = []
+
+        def worker(proc):
+            yield Compute(10.0 * (proc.global_id + 1))
+            arrived.append(proc.global_id)
+            yield from barrier.wait(proc)
+            departed.append((proc.global_id, len(arrived)))
+
+        run_workers(cluster, worker)
+        # Every departure saw all four arrivals.
+        assert all(n == 4 for _, n in departed)
+
+    def test_episode_counting(self):
+        cluster, proto = make_cluster(2, 1)
+        barrier = Barrier(cluster, proto)
+
+        def worker(proc):
+            for _ in range(3):
+                yield Compute(1.0)
+                yield from barrier.wait(proc)
+
+        run_workers(cluster, worker)
+        assert barrier.episodes == 3
+
+    def test_reusable_across_episodes_with_skew(self):
+        cluster, proto = make_cluster(2, 2)
+        barrier = Barrier(cluster, proto)
+        log = []
+
+        def worker(proc):
+            for i in range(4):
+                yield Compute(float((proc.global_id * 7 + i * 3) % 11 + 1))
+                yield from barrier.wait(proc)
+                log.append((i, proc.global_id))
+
+        run_workers(cluster, worker)
+        # All rank-i entries appear before any rank-(i+1) entries.
+        rounds = [i for i, _ in log]
+        assert rounds == sorted(rounds)
+
+    def test_departure_after_last_arrival_time(self):
+        cluster, proto = make_cluster(2, 1)
+        barrier = Barrier(cluster, proto)
+        clocks = {}
+
+        def worker(proc):
+            yield Compute(100.0 if proc.global_id == 1 else 1.0)
+            yield from barrier.wait(proc)
+            clocks[proc.global_id] = proc.clock
+
+        run_workers(cluster, worker)
+        assert clocks[0] >= 100.0  # the early arriver waited
+
+
+class TestFlagSet:
+    def test_flag_ordering(self):
+        cluster, proto = make_cluster(2, 1)
+        flags = FlagSet(cluster, proto, "f", 4)
+        log = []
+
+        def worker(proc):
+            if proc.global_id == 0:
+                yield Compute(50.0)
+                log.append("set")
+                flags.set(proc, 2)
+            else:
+                yield from flags.wait(proc, 2)
+                log.append("saw")
+
+        run_workers(cluster, worker)
+        assert log == ["set", "saw"]
+
+    def test_wait_on_already_set_flag(self):
+        cluster, proto = make_cluster(1, 2)
+        flags = FlagSet(cluster, proto, "f", 1)
+        order = []
+
+        def worker(proc):
+            if proc.global_id == 0:
+                flags.set(proc, 0)
+                order.append("set")
+            else:
+                yield Compute(100.0)
+                yield from flags.wait(proc, 0)
+                order.append("saw")
+            yield Compute(1.0)
+
+        run_workers(cluster, worker)
+        assert order == ["set", "saw"]
+
+    def test_flag_counts_as_lock_acquire(self):
+        cluster, proto = make_cluster(2, 1)
+        flags = FlagSet(cluster, proto, "f", 1)
+
+        def worker(proc):
+            if proc.global_id == 0:
+                flags.set(proc, 0)
+                yield Compute(1.0)
+            else:
+                yield from flags.wait(proc, 0)
+
+        run_workers(cluster, worker)
+        p1 = cluster.processors[1]
+        assert p1.stats.counters["lock_acquires"] == 1
+        assert p1.stats.counters["flag_acquires"] == 1
+
+    def test_monotonic_values(self):
+        cluster, proto = make_cluster(2, 1)
+        flags = FlagSet(cluster, proto, "f", 1)
+        seen = []
+
+        def worker(proc):
+            if proc.global_id == 0:
+                for v in (1, 2, 3):
+                    yield Compute(10.0)
+                    flags.set(proc, 0, v)
+            else:
+                yield from flags.wait(proc, 0, 3)
+                seen.append(flags.peek(proc, 0))
+
+        run_workers(cluster, worker)
+        assert seen == [3]
