@@ -6,7 +6,13 @@ Runs Red-Black SOR under the Cashmere-2L protocol on a 4-node x
 uninstrumented sequential execution, and prints the speedup and the
 protocol activity behind it.
 
-Usage:  python examples/quickstart.py [APP]
+With ``--check``, the run additionally executes under the
+:mod:`repro.check` correctness checker: a vector-clock happens-before
+race detector plus a coherence oracle that cross-checks page contents
+against a golden image at every barrier. (Checking is orthogonal to
+simulated timing; it only costs host CPU.)
+
+Usage:  python examples/quickstart.py [APP] [--check]
 """
 
 import sys
@@ -16,17 +22,32 @@ from repro.apps import ALL_APPS, make_app
 
 
 def main() -> None:
-    app_name = sys.argv[1] if len(sys.argv) > 1 else "SOR"
+    argv = [a for a in sys.argv[1:] if a != "--check"]
+    check = "--check" in sys.argv[1:]
+    unknown = [a for a in argv if a.startswith("-")]
+    if unknown:
+        raise SystemExit(f"unknown option(s) {unknown}; "
+                         f"usage: quickstart.py [APP] [--check]")
+    app_name = argv[0] if argv else "SOR"
     if app_name not in ALL_APPS:
         raise SystemExit(f"unknown app {app_name!r}; "
                          f"choose from {list(ALL_APPS)}")
     app = make_app(app_name)
-    config = MachineConfig(nodes=4, procs_per_node=2, page_bytes=512)
+    config = MachineConfig(nodes=4, procs_per_node=2, page_bytes=512,
+                           checking=check)
 
     print(f"Running {app.name} ({app.paper_problem_size} in the paper) "
           f"on {config.nodes} nodes x {config.procs_per_node} processors "
-          f"under Cashmere-2L...")
+          f"under Cashmere-2L"
+          f"{' with correctness checking' if check else ''}...")
     cmp = run_and_verify(app, app.default_params(), config, protocol="2L")
+
+    if check:
+        stats = cmp.run.stats
+        print(f"\nCorrectness checker: "
+              f"{stats.counter('check_events')} accesses traced, "
+              f"{stats.counter('check_vc_merges')} vector-clock merges, "
+              f"{stats.counter('check_races')} races found")
 
     print(f"\n  sequential time : {cmp.seq_time_us / 1e6:8.3f} s (simulated)")
     print(f"  parallel time   : {cmp.run.exec_time_us / 1e6:8.3f} s "

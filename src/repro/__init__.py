@@ -26,11 +26,11 @@ Quick start::
 
 from .config import (CostModel, MachineConfig, PLACEMENTS, Protocol,
                      placement_config)
-from .errors import (CashmereError, ConfigError, DataRaceError,
-                     DeadlockError, MemoryChannelError, ProtocolError,
-                     SimulationError)
-from .runtime import (ComparisonResult, RunResult, run_and_verify, run_app,
-                      run_sequential)
+from .errors import (CashmereError, CoherenceViolation, ConfigError,
+                     DataRaceError, DeadlockError, MemoryChannelError,
+                     ProtocolError, SimulationError, UnknownCounterError)
+from .runtime import (ComparisonResult, RunResult, checking, run_and_verify,
+                      run_app, run_sequential)
 from .stats import RunStats
 
 __version__ = "1.0.0"
@@ -38,9 +38,10 @@ __version__ = "1.0.0"
 __all__ = [
     "MachineConfig", "CostModel", "Protocol", "PLACEMENTS",
     "placement_config",
-    "run_app", "run_and_verify", "run_sequential",
+    "run_app", "run_and_verify", "run_sequential", "checking",
     "RunResult", "ComparisonResult", "RunStats",
     "CashmereError", "ConfigError", "ProtocolError", "SimulationError",
     "DeadlockError", "MemoryChannelError", "DataRaceError",
+    "CoherenceViolation", "UnknownCounterError",
     "__version__",
 ]

@@ -1,0 +1,54 @@
+"""Vector clocks for the happens-before race detector.
+
+One integer component per simulated processor. A processor's component
+of its own clock doubles as its *epoch* counter (FastTrack-style): it is
+incremented at every release-type synchronization event, so all accesses
+inside one sync-free region share one epoch and a single ``(clock,
+proc)`` pair represents them when checking happens-before against
+another processor's vector clock.
+"""
+
+from __future__ import annotations
+
+
+class VectorClock:
+    """A fixed-width vector of logical clocks, one per processor."""
+
+    __slots__ = ("c",)
+
+    def __init__(self, nprocs: int) -> None:
+        self.c = [0] * nprocs
+
+    def copy(self) -> "VectorClock":
+        vc = VectorClock.__new__(VectorClock)
+        vc.c = list(self.c)
+        return vc
+
+    def __getitem__(self, proc: int) -> int:
+        return self.c[proc]
+
+    def __len__(self) -> int:
+        return len(self.c)
+
+    def tick(self, proc: int) -> int:
+        """Advance ``proc``'s own component (start a new epoch)."""
+        self.c[proc] += 1
+        return self.c[proc]
+
+    def join(self, other: "VectorClock") -> bool:
+        """Elementwise maximum, in place; True when anything advanced."""
+        changed = False
+        mine, theirs = self.c, other.c
+        for i in range(len(mine)):
+            if theirs[i] > mine[i]:
+                mine[i] = theirs[i]
+                changed = True
+        return changed
+
+    def dominates_epoch(self, clock: int, proc: int) -> bool:
+        """Does an event at epoch ``(clock, proc)`` happen-before this
+        clock's owner? (The FastTrack ``epoch <= VC`` test.)"""
+        return clock <= self.c[proc]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VC{self.c}"

@@ -188,6 +188,11 @@ class MachineConfig:
     polling: bool = True
     #: Use the kernel-modified (fast) interrupt latencies when polling=False.
     fast_interrupts: bool = True
+    #: Opt-in runtime correctness checking (:mod:`repro.check`): trace
+    #: every shared access and sync event through the happens-before race
+    #: detector and release-consistency oracle. Orthogonal to timing —
+    #: checking observes the execution, it never changes simulated costs.
+    checking: bool = False
     costs: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:

@@ -68,4 +68,46 @@ class DataRaceError(CashmereError):
     Cashmere requires data-race-free applications; the simulator checks
     the invariant the protocol relies on (incoming diffs never overlap
     local dirty words) and raises this when an application breaks it.
+    The happens-before race detector (:mod:`repro.check`) raises it too,
+    with full provenance of the racing access pair.
+    """
+
+
+class CoherenceViolation(CashmereError):
+    """The coherence oracle caught the protocol serving wrong data.
+
+    Raised by :mod:`repro.check` when a checked execution diverges from
+    the golden (happens-before-ordered sequential) image: a read that
+    returned a value other than the one written by the happens-before
+    latest write, a master/exclusive page copy that disagrees with the
+    golden memory at a sync point, or a structural directory/twin
+    invariant failure. Unlike :class:`DataRaceError` (an application
+    bug), this always indicates a protocol bug.
+
+    Structured fields name the first divergent word so counterexamples
+    shrink well: ``page``, ``offset``, ``word`` (global word index),
+    ``expected``, ``actual``, ``check`` (which oracle check fired) and
+    ``event`` (the provenance of the access or last write involved).
+    """
+
+    def __init__(self, message: str, *, check: str = "",
+                 page: int | None = None, offset: int | None = None,
+                 word: int | None = None, expected: float | None = None,
+                 actual: float | None = None, event: object = None) -> None:
+        super().__init__(message)
+        self.check = check
+        self.page = page
+        self.offset = offset
+        self.word = word
+        self.expected = expected
+        self.actual = actual
+        self.event = event
+
+
+class UnknownCounterError(CashmereError):
+    """A statistics counter name outside the canonical set was used.
+
+    Counters are write-mostly: a typo'd name would silently accumulate
+    into the stats ``Counter`` and never be read back, so both increments
+    and reads validate against :data:`repro.stats.COUNTER_NAMES`.
     """

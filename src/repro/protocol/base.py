@@ -74,6 +74,10 @@ class BaseProtocol:
         self.lock_free = lock_free
         self.home_opt = home_opt
 
+        #: Optional correctness tracer (:class:`repro.check.CheckContext`):
+        #: when set, every load/store and sync event is reported to it.
+        self.tracer = None
+
         self.num_owners = self._owner_count()
         lock_model = None if lock_free else DirectoryLockModel(self.config)
         self.directory = GlobalDirectory(self.config, self.num_owners,
@@ -128,7 +132,10 @@ class BaseProtocol:
         st = self._ps[proc.global_id]
         if st.rows[page][st.lidx] < Perm.READ:
             self.read_fault(proc, st, page)
-        return st.frames[page][offset]
+        value = st.frames[page][offset]
+        if self.tracer is not None:
+            self.tracer.on_load(proc, page, offset, value)
+        return value
 
     def store(self, proc: Processor, page: int, offset: int,
               value: float) -> None:
@@ -136,6 +143,8 @@ class BaseProtocol:
         if st.rows[page][st.lidx] < Perm.WRITE:
             self.write_fault(proc, st, page)
         st.frames[page][offset] = value
+        if self.tracer is not None:
+            self.tracer.on_store(proc, page, offset, value)
 
     def load_range(self, proc: Processor, page: int, lo: int,
                    hi: int) -> np.ndarray:
@@ -143,7 +152,10 @@ class BaseProtocol:
         st = self._ps[proc.global_id]
         if st.rows[page][st.lidx] < Perm.READ:
             self.read_fault(proc, st, page)
-        return st.frames[page][lo:hi]
+        values = st.frames[page][lo:hi]
+        if self.tracer is not None:
+            self.tracer.on_load_range(proc, page, lo, values)
+        return values
 
     def store_range(self, proc: Processor, page: int, lo: int,
                     values: np.ndarray) -> None:
@@ -151,6 +163,8 @@ class BaseProtocol:
         if st.rows[page][st.lidx] < Perm.WRITE:
             self.write_fault(proc, st, page)
         st.frames[page][lo:lo + len(values)] = values
+        if self.tracer is not None:
+            self.tracer.on_store_range(proc, page, lo, values)
 
     # --- protocol entry points (subclass responsibilities) -------------------
 

@@ -404,6 +404,8 @@ class Cashmere1L(OneLevelProtocol):
         st.frames[page][offset] = value
         self._double_words(proc, st, page, offset, 1,
                            np.float64(value))
+        if self.tracer is not None:
+            self.tracer.on_store(proc, page, offset, value)
 
     def store_range(self, proc: Processor, page: int, lo: int,
                     values: np.ndarray) -> None:
@@ -412,6 +414,8 @@ class Cashmere1L(OneLevelProtocol):
             self.write_fault(proc, st, page)
         st.frames[page][lo:lo + len(values)] = values
         self._double_words(proc, st, page, lo, len(values), values)
+        if self.tracer is not None:
+            self.tracer.on_store_range(proc, page, lo, values)
 
     def _double_words(self, proc: Processor, st: ProcProtoState, page: int,
                       lo: int, count: int, values) -> None:

@@ -1,6 +1,6 @@
 """DSM runtime: shared segment, worker environment, program runners."""
 
-from .api import SharedArray, SharedSegment
+from .api import SharedArray, SharedSegment, checking, checking_enabled
 from .env import WorkerEnv
 from .program import (ComparisonResult, ParallelRuntime, RunResult, run_app,
                       run_and_verify)
@@ -10,4 +10,5 @@ __all__ = [
     "SharedArray", "SharedSegment", "WorkerEnv", "SequentialEnv",
     "ParallelRuntime", "RunResult", "ComparisonResult",
     "run_app", "run_and_verify", "run_sequential",
+    "checking", "checking_enabled",
 ]

@@ -12,10 +12,44 @@ earns its keep.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 from ..config import MachineConfig
 from ..errors import ConfigError
+
+#: Nesting depth of active :func:`checking` context managers. When
+#: positive, every :class:`~repro.runtime.ParallelRuntime` built runs
+#: under the correctness checker regardless of its config flag.
+_checking_depth = 0
+
+
+@contextlib.contextmanager
+def checking():
+    """Force correctness checking for all runtimes built in this scope.
+
+    The scoped equivalent of ``MachineConfig(checking=True)``: any app,
+    example, or test that builds a :class:`~repro.runtime.ParallelRuntime`
+    inside the ``with`` block runs under the happens-before race detector
+    and the coherence oracle (:mod:`repro.check`) without threading a
+    config flag through::
+
+        with checking():
+            result = run_app(app, params, config, protocol="2L")
+
+    Nesting is allowed; checking stays on until the outermost block exits.
+    """
+    global _checking_depth
+    _checking_depth += 1
+    try:
+        yield
+    finally:
+        _checking_depth -= 1
+
+
+def checking_enabled(config: MachineConfig) -> bool:
+    """Should a runtime built with ``config`` attach the checker?"""
+    return bool(config.checking or _checking_depth)
 
 
 @dataclass(frozen=True)

@@ -17,13 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 import numpy as np
 
+from ..check import attach_checker
 from ..cluster.machine import Cluster
 from ..config import MachineConfig
 from ..errors import ConfigError
 from ..protocol import make_protocol
 from ..stats.counters import RunStats
 from ..sync import Barrier, FlagSet, MCLock
-from .api import SharedSegment
+from .api import SharedSegment, checking_enabled
 from .env import WorkerEnv
 from .sequential import run_sequential
 from ..sim.process import ProcessGroup
@@ -54,6 +55,11 @@ class ParallelRuntime:
         if getattr(app, "write_double_us", None) is not None and \
                 hasattr(self.protocol, "word_double_us"):
             self.protocol.word_double_us = app.write_double_us
+        #: Correctness checker (:class:`repro.check.CheckContext`), when
+        #: enabled via ``config.checking`` or ``runtime.api.checking()``.
+        self.checker = None
+        if checking_enabled(self.config):
+            self.checker = attach_checker(self.cluster, self.protocol)
         self.segment = SharedSegment(self.config)
         app.declare(self.segment, params)
         self.barrier = Barrier(self.cluster, self.protocol)
@@ -89,6 +95,10 @@ class ParallelRuntime:
             group.spawn(proc, self.app.worker(env, self.params),
                         name=f"{self.app.name}:p{proc.global_id}")
         group.run()
+        if self.checker is not None:
+            # End-of-run oracle sweep; raises DataRaceError if the app
+            # raced or CoherenceViolation if the protocol served bad data.
+            self.checker.finalize()
         exec_time = self.cluster.max_clock()
         stats = RunStats.collect([p.stats for p in self.cluster.processors],
                                  exec_time, self.cluster.mc.traffic)

@@ -15,13 +15,18 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..errors import UnknownCounterError
 from ..sim.process import TIME_BUCKETS
 
-#: Canonical counter names (Table 3 rows).
+#: Canonical counter names (Table 3 rows plus runtime bookkeeping).
+#: This tuple is *closed*: incrementing or reading any other name raises
+#: :class:`~repro.errors.UnknownCounterError` — a typo'd counter would
+#: otherwise accumulate silently and never be seen again.
 COUNTER_NAMES = (
     "lock_acquires",        # Lock/Flag Acquires
     "flag_acquires",        # subset of the above, kept separately too
-    "barriers",             # Barriers
+    "barriers",             # Barriers (episodes)
+    "barriers_crossed",     # per-processor barrier crossings
     "read_faults",          # Read Faults
     "write_faults",         # Write Faults
     "page_transfers",       # Page Transfers
@@ -32,9 +37,24 @@ COUNTER_NAMES = (
     "incoming_diffs",       # Incoming Diffs (2L)
     "flush_updates",        # Flush-Updates (2L)
     "shootdowns",           # Shootdowns (2LS)
+    "doubled_words",        # in-line doubled writes (1L)
     "home_relocations",     # first-touch home migrations
     "requests_served",      # explicit requests handled via polling
+    # --- correctness checking (repro.check, opt-in) -------------------
+    "check_events",         # shared-memory accesses traced
+    "check_vc_merges",      # vector-clock join operations
+    "check_races",          # data races detected
 )
+
+_KNOWN_COUNTERS = frozenset(COUNTER_NAMES)
+
+
+def _require_known(counter: str) -> None:
+    if counter not in _KNOWN_COUNTERS:
+        raise UnknownCounterError(
+            f"unknown stats counter {counter!r}; canonical names are "
+            f"listed in repro.stats.COUNTER_NAMES (add new counters "
+            f"there first)")
 
 
 @dataclass
@@ -49,6 +69,7 @@ class ProcStats:
         self.buckets[bucket] += us
 
     def bump(self, counter: str, n: int = 1) -> None:
+        _require_known(counter)
         self.counters[counter] += n
 
     @property
@@ -87,6 +108,7 @@ class RunStats:
     # --- Table 3 convenience accessors ------------------------------------
 
     def counter(self, name: str) -> int:
+        _require_known(name)
         return int(self.aggregate.counters.get(name, 0))
 
     @property

@@ -50,6 +50,7 @@ class Barrier:
         """Generator: arrive, flush, announce, spin for departure, acquire."""
         costs = self.cluster.config.costs
         mc = self.cluster.mc
+        tracer = self.protocol.tracer
 
         # Arrival-side consistency: flush pages we are the last local
         # writer of (two-level) or a plain release (one-level).
@@ -83,6 +84,10 @@ class Barrier:
             if slot == 0:
                 self.episodes = target
 
+        if tracer is not None:
+            # Arrival is a release: all flushes for this episode ran above.
+            tracer.on_barrier_arrive(proc, target)
+
         region = self.region
         nslots = self.slots
 
@@ -100,3 +105,5 @@ class Barrier:
 
         # Departure-side consistency: process write notices, invalidate.
         self.protocol.acquire_sync(proc)
+        if tracer is not None:
+            tracer.on_barrier_depart(proc, target)

@@ -122,6 +122,9 @@ class MCLock:
 
         proc.stats.bump("lock_acquires")
         self.protocol.acquire_sync(proc)
+        tracer = self.protocol.tracer
+        if tracer is not None:
+            tracer.on_acquire(proc, ("lock", self.lock_id))
 
     # --- release -------------------------------------------------------------
 
@@ -132,6 +135,9 @@ class MCLock:
                 f"processor {proc.global_id} does not hold lock "
                 f"{self.lock_id} (holder: {self._holder})")
         self.protocol.release_sync(proc)
+        tracer = self.protocol.tracer
+        if tracer is not None:
+            tracer.on_release(proc, ("lock", self.lock_id))
         costs = self.cluster.config.costs
         slot = self._slot(proc)
         proc.charge(costs.mc_lock_overhead, "protocol")

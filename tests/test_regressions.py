@@ -1,10 +1,11 @@
-"""Deterministic regressions for protocol bugs found by the
+"""Deterministic regressions for protocol and checker bugs found by the
 property-based tests (pinned so they stay covered even without the
 hypothesis example database)."""
 
 import numpy as np
 import pytest
 
+from repro.check import attach_checker
 from repro.cluster.machine import Cluster
 from repro.config import MachineConfig
 from repro.protocol import make_protocol
@@ -72,6 +73,92 @@ def test_lock_release_not_visible_to_temporally_earlier_contender():
     holder = entry.exclusive_holder()
     frame = proto.frames.frame(holder[0], 0) if holder else proto.master(0)
     assert frame[0] == 6.0  # 2 procs x 3 increments, none lost
+
+
+def test_first_epoch_conflicting_writes_are_flagged():
+    """Regression (race detector): with all vector clocks initialized to
+    zero, an access in a processor's *first* epoch carried clock 0 and
+    ``0 <= vc[other] == 0`` made it look ordered before every other
+    processor — conflicting pre-first-sync writes were silently missed.
+    Each processor's own component must start at 1."""
+    cfg = MachineConfig(nodes=2, procs_per_node=2, page_bytes=512,
+                        shared_bytes=512 * 2, superpage_pages=1)
+    cluster = Cluster(cfg)
+    proto = make_protocol("2L", cluster)
+    checker = attach_checker(cluster, proto)
+    barrier = Barrier(cluster, proto)
+
+    def worker(proc):
+        def gen():
+            # First epoch: no sync event has happened yet.
+            proto.store(proc, 0, 2, float(proc.global_id))
+            yield Compute(1.0)
+            yield from barrier.wait(proc)
+        return gen()
+
+    group = ProcessGroup(cluster.sim)
+    for proc in cluster.processors:
+        group.spawn(proc, worker(proc), f"p{proc.global_id}")
+    group.run()
+    assert checker.race_count == 3  # p1..p3 each race the prior write
+    assert all(r.kind == "write-write" for r in checker.races)
+
+
+def test_consecutive_barrier_episodes_keep_clocks_apart():
+    """Regression (race detector): barrier episode clocks are keyed by
+    episode number and pruned once everyone departs; a same-word write in
+    round r+1 after a write in round r is ordered by the intervening
+    barrier and must NOT be flagged, across several episodes."""
+    plan = [([(0, [10])], []), ([(1, [10])], []),
+            ([(2, [10])], []), ([(3, [10])], [])]
+    checker = _run_checked_rounds(plan, "2L")
+    assert checker.races == []
+
+
+@pytest.mark.parametrize("protocol", ["2L", "2LS"])
+def test_oracle_reads_exclusive_holder_frame_not_master(protocol):
+    """Regression (coherence oracle): a page whose sole writer stays in
+    exclusive mode to the end of the run has its current data only in
+    the holder's frame — the master is legitimately stale. The oracle's
+    authoritative-content sweep must consult the holder's frame, or a
+    healthy run raises a false CoherenceViolation."""
+    plan = [([(0, [64, 65, 66])], [])]  # page 1: single writer, one round
+    checker = _run_checked_rounds(plan, protocol)
+    checker.finalize()  # end-of-run sweep must pass
+    assert checker.races == []
+    assert checker.oracle.global_checks == 2  # 1 barrier + end of run
+
+
+def _run_checked_rounds(plan, protocol):
+    """_run_rounds under the checker; returns the CheckContext."""
+    cfg = MachineConfig(nodes=2, procs_per_node=2, page_bytes=512,
+                        shared_bytes=512 * 4, superpage_pages=2)
+    cluster = Cluster(cfg)
+    proto = make_protocol(protocol, cluster)
+    checker = attach_checker(cluster, proto)
+    barrier = Barrier(cluster, proto)
+    proto.end_initialization()
+
+    def worker(proc):
+        rank = proc.global_id
+
+        def gen():
+            for rnd, (writes, _) in enumerate(plan):
+                for owner, words in writes:
+                    if owner != rank:
+                        continue
+                    for w in words:
+                        proto.store(proc, w // 64, w % 64,
+                                    float(rnd * 1000 + w + 1))
+                        yield Compute(1.0)
+                yield from barrier.wait(proc)
+        return gen()
+
+    group = ProcessGroup(cluster.sim)
+    for proc in cluster.processors:
+        group.spawn(proc, worker(proc), f"p{proc.global_id}")
+    group.run()
+    return checker
 
 
 def _run_rounds(plan, protocol):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import UnknownCounterError
 from repro.stats.counters import COUNTER_NAMES, ProcStats, RunStats
 
 
@@ -32,6 +33,15 @@ class TestProcStats:
     def test_counter_names_documented(self):
         assert "write_notices" in COUNTER_NAMES
         assert "shootdowns" in COUNTER_NAMES
+        assert "check_events" in COUNTER_NAMES
+
+    def test_counter_names_closed(self):
+        """The canonical name set is strict: a typo'd counter raises
+        instead of accumulating into a name nobody will ever read."""
+        ps = ProcStats()
+        with pytest.raises(UnknownCounterError, match="read_fautls"):
+            ps.bump("read_fautls")
+        assert not ps.counters  # nothing was recorded
 
 
 class TestRunStats:
@@ -53,6 +63,15 @@ class TestRunStats:
         assert run.counter("page_transfers") == 6
         assert run.exec_time_s == pytest.approx(2.0)
         assert run.data_mbytes == pytest.approx(1.5)
+
+    def test_counter_rejects_unknown_name(self):
+        run = self.make()
+        with pytest.raises(UnknownCounterError):
+            run.counter("page_transferz")
+
+    def test_counter_known_but_untouched_is_zero(self):
+        run = self.make()
+        assert run.counter("shootdowns") == 0
 
     def test_breakdown_fractions_normalized(self):
         run = self.make()
