@@ -12,29 +12,44 @@ race detector plus a coherence oracle that cross-checks page contents
 against a golden image at every barrier. (Checking is orthogonal to
 simulated timing; it only costs host CPU.)
 
-Usage:  python examples/quickstart.py [APP] [--check]
+With ``--trace FILE``, the run records protocol events (faults, page
+transfers, diffs, lock/barrier waits, Memory Channel traffic) and
+exports them as Chrome ``trace_event`` JSON — open the file at
+https://ui.perfetto.dev to see one timeline track per processor.
+
+Usage:  python examples/quickstart.py [APP] [--check] [--trace FILE]
 """
 
 import sys
 
 from repro import MachineConfig, run_and_verify
 from repro.apps import ALL_APPS, make_app
+from repro.trace import write_chrome_trace
 
 
 def main() -> None:
-    argv = [a for a in sys.argv[1:] if a != "--check"]
-    check = "--check" in sys.argv[1:]
+    args = list(sys.argv[1:])
+    check = "--check" in args
+    argv = [a for a in args if a != "--check"]
+    trace_out = None
+    if "--trace" in argv:
+        i = argv.index("--trace")
+        if i + 1 >= len(argv):
+            raise SystemExit("--trace needs an output file, "
+                             "e.g. --trace trace.json")
+        trace_out = argv[i + 1]
+        del argv[i:i + 2]
     unknown = [a for a in argv if a.startswith("-")]
     if unknown:
-        raise SystemExit(f"unknown option(s) {unknown}; "
-                         f"usage: quickstart.py [APP] [--check]")
+        raise SystemExit(f"unknown option(s) {unknown}; usage: "
+                         f"quickstart.py [APP] [--check] [--trace FILE]")
     app_name = argv[0] if argv else "SOR"
     if app_name not in ALL_APPS:
         raise SystemExit(f"unknown app {app_name!r}; "
                          f"choose from {list(ALL_APPS)}")
     app = make_app(app_name)
     config = MachineConfig(nodes=4, procs_per_node=2, page_bytes=512,
-                           checking=check)
+                           checking=check, tracing=trace_out is not None)
 
     print(f"Running {app.name} ({app.paper_problem_size} in the paper) "
           f"on {config.nodes} nodes x {config.procs_per_node} processors "
@@ -65,6 +80,11 @@ def main() -> None:
     print("\nExecution time breakdown:")
     for bucket, frac in fracs.items():
         print(f"  {bucket:14s} {100 * frac:5.1f} %")
+
+    if trace_out is not None:
+        n = write_chrome_trace(cmp.run.trace, trace_out)
+        print(f"\nWrote {n} trace events to {trace_out} "
+              f"(open at https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

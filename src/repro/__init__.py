@@ -30,7 +30,7 @@ from .errors import (CashmereError, CoherenceViolation, ConfigError,
                      DataRaceError, DeadlockError, MemoryChannelError,
                      ProtocolError, SimulationError, UnknownCounterError)
 from .runtime import (ComparisonResult, RunResult, checking, run_and_verify,
-                      run_app, run_sequential)
+                      run_app, run_sequential, tracing)
 from .stats import RunStats
 
 __version__ = "1.0.0"
@@ -38,7 +38,7 @@ __version__ = "1.0.0"
 __all__ = [
     "MachineConfig", "CostModel", "Protocol", "PLACEMENTS",
     "placement_config",
-    "run_app", "run_and_verify", "run_sequential", "checking",
+    "run_app", "run_and_verify", "run_sequential", "checking", "tracing",
     "RunResult", "ComparisonResult", "RunStats",
     "CashmereError", "ConfigError", "ProtocolError", "SimulationError",
     "DeadlockError", "MemoryChannelError", "DataRaceError",

@@ -74,6 +74,9 @@ class Processor(ExecutionContext):
         self.global_id = global_id
         self.clock = 0.0
         self.stats = ProcStats()
+        #: Optional event tracer (:class:`repro.trace.Tracer`); when set,
+        #: every bucket charge is recorded as a duration span.
+        self.trace = None
         #: Installed by the protocol runtime: called with (proc, handler)
         #: to run one polled request. None before a protocol attaches.
         self.request_runner: Callable[["Processor", Callable], None] | None = None
@@ -83,6 +86,8 @@ class Processor(ExecutionContext):
     def charge(self, us: float, bucket: str) -> None:
         if us <= 0:
             return
+        if self.trace is not None:
+            self.trace.span(bucket, self, self.clock, us)
         self.clock += us
         self.stats.charge(us, bucket)
 
@@ -127,6 +132,9 @@ class Cluster:
     def __init__(self, config: MachineConfig, sim: Simulator | None = None) -> None:
         self.config = config
         self.sim = sim or Simulator()
+        #: Optional event tracer shared by the whole machine (set by
+        #: :func:`repro.trace.attach_tracer`).
+        self.trace = None
         self.mc = MemoryChannel(self.sim, config)
         self.nodes: list[Node] = []
         self.processors: list[Processor] = []

@@ -193,6 +193,12 @@ class MachineConfig:
     #: detector and release-consistency oracle. Orthogonal to timing —
     #: checking observes the execution, it never changes simulated costs.
     checking: bool = False
+    #: Opt-in protocol event tracing (:mod:`repro.trace`): record faults,
+    #: transfers, diffs, sync and network events on the simulated timeline
+    #: for the Chrome-trace exporter and contention profiler. Like
+    #: ``checking``, strictly observational — a traced run produces
+    #: byte-identical statistics to an untraced one.
+    tracing: bool = False
     costs: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:

@@ -10,17 +10,29 @@ Usage (installed as ``cashmere-repro``)::
     cashmere-repro shootdown
     cashmere-repro lockfree
     cashmere-repro all     [--quick]
+    cashmere-repro trace APP [--out trace.json] [--protocol 2L]
+    cashmere-repro profile APP [--protocol 2L]
 
 ``--quick`` restricts Figure 7 to three placements (4:1, 8:4, 32:4).
+``--json`` prints machine-readable results instead of monospace tables
+(not applicable to ``trace``, whose output is already JSON).
+
+``trace`` runs one application with event tracing and exports Chrome
+``trace_event`` JSON viewable at https://ui.perfetto.dev; ``profile``
+prints the derived contention report (hot pages, lock hold/wait times,
+barrier imbalance, Memory Channel timeline).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 import time
 
-from .configs import APP_ORDER, PLACEMENT_ORDER, QUICK_PLACEMENTS
+from .configs import (APP_ORDER, PLACEMENT_ORDER, PROTOCOL_ORDER,
+                      QUICK_PLACEMENTS)
 from .figure6 import run_figure6
 from .figure7 import run_figure7
 from .lockfree import run_lockfree_ablation
@@ -30,16 +42,30 @@ from .shootdown import run_shootdown_ablation
 from .table1 import run_table1
 from .table2 import format_table2, run_table2
 from .table3 import run_table3
+from .traceprof import resolve_app_name, run_profile, run_trace_export
 
 
 def _apps_arg(values: list[str]) -> tuple[str, ...]:
     if not values:
         return APP_ORDER
-    bad = [v for v in values if v not in APP_ORDER]
-    if bad:
-        raise SystemExit(f"unknown application(s) {bad}; "
-                         f"choose from {list(APP_ORDER)}")
-    return tuple(values)
+    return tuple(resolve_app_name(v) for v in values)
+
+
+def _jsonable(result):
+    """Machine-readable form of an experiment result."""
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return dataclasses.asdict(result)
+    if isinstance(result, list):
+        return [_jsonable(r) for r in result]
+    return result
+
+
+def _emit(experiment: str, result, formatted: str, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps({"experiment": experiment,
+                          "data": _jsonable(result)}, indent=2))
+    else:
+        print(formatted)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -50,42 +76,75 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment",
                         choices=["table1", "table2", "table3", "figure6",
                                  "figure7", "shootdown", "lockfree",
-                                 "sensitivity", "polling", "all"])
+                                 "sensitivity", "polling", "all",
+                                 "trace", "profile"])
     parser.add_argument("apps", nargs="*",
-                        help="restrict to these applications")
+                        help="restrict to these applications (required "
+                             "single APP for trace/profile)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced placement set for figure7")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print machine-readable JSON instead of tables")
+    parser.add_argument("--out", default="trace.json",
+                        help="output path for the trace subcommand")
+    parser.add_argument("--protocol", default="2L", choices=PROTOCOL_ORDER,
+                        help="protocol for the trace/profile subcommands")
     args = parser.parse_args(argv)
-    apps = _apps_arg(args.apps)
-    placements = QUICK_PLACEMENTS if args.quick else PLACEMENT_ORDER
 
     start = time.time()
+    if args.experiment in ("trace", "profile"):
+        if len(args.apps) != 1:
+            raise SystemExit(
+                f"{args.experiment} needs exactly one application, e.g. "
+                f"`cashmere-repro {args.experiment} sor`")
+        if args.experiment == "trace":
+            n = run_trace_export(args.apps[0], args.out, args.protocol)
+            print(f"wrote {n} trace events to {args.out} "
+                  f"(open at https://ui.perfetto.dev)")
+        else:
+            profile = run_profile(args.apps[0], args.protocol)
+            _emit("profile", profile.to_json(), profile.format(),
+                  args.as_json)
+        print(f"[{time.time() - start:.1f}s wall clock]", file=sys.stderr)
+        return 0
+
+    apps = _apps_arg(args.apps)
+    placements = QUICK_PLACEMENTS if args.quick else PLACEMENT_ORDER
     todo = [args.experiment] if args.experiment != "all" else [
         "table1", "table2", "table3", "figure6", "figure7", "shootdown",
         "lockfree", "sensitivity", "polling"]
     for experiment in todo:
         if experiment == "table1":
-            print(run_table1().format())
+            result = run_table1()
+            _emit(experiment, result, result.format(), args.as_json)
         elif experiment == "table2":
-            print(format_table2(run_table2(apps)))
+            rows = run_table2(apps)
+            _emit(experiment, rows, format_table2(rows), args.as_json)
         elif experiment == "table3":
-            print(run_table3(apps=apps).format())
+            result = run_table3(apps=apps)
+            _emit(experiment, result, result.format(), args.as_json)
         elif experiment == "figure6":
-            print(run_figure6(apps=apps).format())
+            result = run_figure6(apps=apps)
+            _emit(experiment, result, result.format(), args.as_json)
         elif experiment == "figure7":
-            print(run_figure7(apps=apps, placements=placements).format())
+            result = run_figure7(apps=apps, placements=placements)
+            _emit(experiment, result, result.format(), args.as_json)
         elif experiment == "shootdown":
-            print(run_shootdown_ablation().format())
+            result = run_shootdown_ablation()
+            _emit(experiment, result, result.format(), args.as_json)
         elif experiment == "lockfree":
-            print(run_lockfree_ablation().format())
+            result = run_lockfree_ablation()
+            _emit(experiment, result, result.format(), args.as_json)
         elif experiment == "polling":
-            print(run_polling_ablation(
-                apps=("Em3d", "Barnes", "Gauss") if not args.apps
-                else apps).format())
+            result = run_polling_ablation(
+                apps=("Em3d", "Barnes", "Gauss") if not args.apps else apps)
+            _emit(experiment, result, result.format(), args.as_json)
         elif experiment == "sensitivity":
-            print(run_sensitivity(apps=("Em3d",) if not args.apps
-                                  else apps).format())
-        print()
+            result = run_sensitivity(apps=("Em3d",) if not args.apps
+                                     else apps)
+            _emit(experiment, result, result.format(), args.as_json)
+        if not args.as_json:
+            print()
     print(f"[{time.time() - start:.1f}s wall clock]", file=sys.stderr)
     return 0
 

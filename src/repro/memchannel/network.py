@@ -44,6 +44,9 @@ class MemoryChannel:
         self._regions: dict[str, MCRegion] = {}
         #: Bytes moved over the network, by protocol category.
         self.traffic: dict[str, int] = {}
+        #: Optional event tracer (:class:`repro.trace.Tracer`); when set,
+        #: word writes and bulk transfers appear on the wire track.
+        self.trace = None
 
     # --- regions -----------------------------------------------------------
 
@@ -79,6 +82,9 @@ class MemoryChannel:
         visible_at = at + self.latency
         region.post(index, value, visible_at)
         self.account(category, MC_WORD_BYTES)
+        if self.trace is not None:
+            self.trace.instant("mc_word", None, at, obj=category,
+                               bytes=MC_WORD_BYTES, region=region.name)
         return visible_at
 
     def broadcast_write(self, region: MCRegion, index: int, value: Any,
@@ -89,6 +95,10 @@ class MemoryChannel:
         visible_at = at + self.latency
         region.post(index, value, visible_at)
         self.account(category, MC_WORD_BYTES * max(1, fanout))
+        if self.trace is not None:
+            self.trace.instant("mc_word", None, at, obj=category,
+                               bytes=MC_WORD_BYTES * max(1, fanout),
+                               region=region.name, fanout=fanout)
         return visible_at
 
     def transfer(self, at: float, nbytes: int,
@@ -104,6 +114,9 @@ class MemoryChannel:
         service = nbytes / self.link_bandwidth
         begin, end = self.links.acquire(at, service)
         self.account(category, nbytes)
+        if self.trace is not None:
+            self.trace.span("mc_transfer", None, begin, end - begin,
+                            obj=category, bytes=nbytes)
         return end, end + self.latency
 
     def visibility(self, at: float) -> float:

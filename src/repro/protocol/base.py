@@ -19,7 +19,7 @@ from ..errors import ProtocolError
 from ..sim.engine import SerialResource
 from ..vm.page import FrameStore, Perm
 from ..vm.pagetable import PageTable
-from .directory import (NO_HOLDER, DirectoryLockModel, GlobalDirectory)
+from .directory import DirectoryLockModel, GlobalDirectory
 from .messages import RequestEngine
 from .writenotice import NLEList, NoticeBoard, PerProcNotices
 
@@ -77,6 +77,9 @@ class BaseProtocol:
         #: Optional correctness tracer (:class:`repro.check.CheckContext`):
         #: when set, every load/store and sync event is reported to it.
         self.tracer = None
+        #: Optional event tracer (:class:`repro.trace.Tracer`): when set,
+        #: fault service and protocol actions are recorded as trace spans.
+        self.trace = None
 
         self.num_owners = self._owner_count()
         lock_model = None if lock_free else DirectoryLockModel(self.config)
@@ -128,10 +131,25 @@ class BaseProtocol:
 
     # --- the memory access fast path ----------------------------------------
 
+    def _traced_read_fault(self, proc: Processor, st: ProcProtoState,
+                           page: int) -> None:
+        t0 = proc.clock
+        self.read_fault(proc, st, page)
+        self.trace.span("read_fault", proc, t0, proc.clock - t0, obj=page)
+
+    def _traced_write_fault(self, proc: Processor, st: ProcProtoState,
+                            page: int) -> None:
+        t0 = proc.clock
+        self.write_fault(proc, st, page)
+        self.trace.span("write_fault", proc, t0, proc.clock - t0, obj=page)
+
     def load(self, proc: Processor, page: int, offset: int) -> float:
         st = self._ps[proc.global_id]
         if st.rows[page][st.lidx] < Perm.READ:
-            self.read_fault(proc, st, page)
+            if self.trace is None:
+                self.read_fault(proc, st, page)
+            else:
+                self._traced_read_fault(proc, st, page)
         value = st.frames[page][offset]
         if self.tracer is not None:
             self.tracer.on_load(proc, page, offset, value)
@@ -141,7 +159,10 @@ class BaseProtocol:
               value: float) -> None:
         st = self._ps[proc.global_id]
         if st.rows[page][st.lidx] < Perm.WRITE:
-            self.write_fault(proc, st, page)
+            if self.trace is None:
+                self.write_fault(proc, st, page)
+            else:
+                self._traced_write_fault(proc, st, page)
         st.frames[page][offset] = value
         if self.tracer is not None:
             self.tracer.on_store(proc, page, offset, value)
@@ -151,7 +172,10 @@ class BaseProtocol:
         """Read words [lo, hi) of one page (bulk access, one fault check)."""
         st = self._ps[proc.global_id]
         if st.rows[page][st.lidx] < Perm.READ:
-            self.read_fault(proc, st, page)
+            if self.trace is None:
+                self.read_fault(proc, st, page)
+            else:
+                self._traced_read_fault(proc, st, page)
         values = st.frames[page][lo:hi]
         if self.tracer is not None:
             self.tracer.on_load_range(proc, page, lo, values)
@@ -161,7 +185,10 @@ class BaseProtocol:
                     values: np.ndarray) -> None:
         st = self._ps[proc.global_id]
         if st.rows[page][st.lidx] < Perm.WRITE:
-            self.write_fault(proc, st, page)
+            if self.trace is None:
+                self.write_fault(proc, st, page)
+            else:
+                self._traced_write_fault(proc, st, page)
         st.frames[page][lo:lo + len(values)] = values
         if self.tracer is not None:
             self.tracer.on_store_range(proc, page, lo, values)
@@ -268,7 +295,6 @@ class BaseProtocol:
         st = self._ps[proc.global_id]
 
         # Global lock acquire/release (11 us plus any serialization).
-        costs = self.costs
         begin, end = self._home_lock.acquire(proc.clock, 11.0)
         proc.charge(end - proc.clock, "protocol")
         proc.stats.bump("home_relocations")
@@ -303,6 +329,9 @@ class BaseProtocol:
         e.home_owner = new_home
         # The home id lives in every directory word; one broadcast update.
         self._charge_dir_update(proc)
+        if self.trace is not None:
+            self.trace.instant("relocation", proc, proc.clock, obj=page,
+                               old_home=old_home, new_home=new_home)
         self._after_relocation(page, old_home, new_home)
 
     def _install_master(self, proc: Processor, page: int,

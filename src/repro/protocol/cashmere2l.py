@@ -23,8 +23,7 @@ import numpy as np
 
 from ..cluster.machine import Processor
 from ..errors import ProtocolError
-from ..vm.diffs import (flush_update, incoming_diff, make_twin,
-                        outgoing_diff, apply_diff)
+from ..vm.diffs import flush_update, incoming_diff, make_twin
 from ..vm.page import Perm
 from .base import PAGE_HEADER_BYTES, BaseProtocol, ProcProtoState
 from .directory import NO_HOLDER, PageMeta
@@ -209,6 +208,7 @@ class Cashmere2L(BaseProtocol):
 
         # Requester-side fixed fetch costs (request composition, read
         # buffer, and the two-level second-level directory maintenance).
+        t_fetch = proc.clock
         proc.charge(self.costs.fetch_overhead
                     + self.costs.two_level_fetch_extra, "protocol")
         if holder is not None:
@@ -229,9 +229,16 @@ class Cashmere2L(BaseProtocol):
                                  context=f"page {page} fetch")
             proc.charge(self.config.diff_in_cost(diff.nbytes), "protocol")
             proc.stats.bump("incoming_diffs")
+            if self.trace is not None:
+                self.trace.instant("diff_in", proc, proc.clock, obj=page,
+                                   bytes=int(diff.nbytes))
         else:
             self.frames.map_frame(st.owner, page, payload)
             proc.charge(self.config.page_copy_cost(), "protocol")
+        if self.trace is not None:
+            self.trace.span("page_fetch", proc, t_fetch,
+                            proc.clock - t_fetch, obj=page,
+                            bytes=self.config.page_bytes, home=home)
         ns.tick()
         meta.update_ts = ns.logical
 
@@ -313,11 +320,15 @@ class Cashmere2L(BaseProtocol):
                     pass
             return frame.copy(), cost, page_bytes + PAGE_HEADER_BYTES
 
+        t0 = proc.clock
         payload, done = self.requests.explicit_request(
             proc, self.node_of_owner(holder_owner), handler,
             target_proc=holder_proc_id, category="page")
         if done > proc.clock:
             proc.charge(done - proc.clock, "comm_wait")
+        if self.trace is not None:
+            self.trace.span("excl_break", proc, t0, proc.clock - t0,
+                            obj=page, holder=holder_proc_id)
         return payload
 
     # ------------------------------------------------------------ acquire side
@@ -425,7 +436,15 @@ class Cashmere2L(BaseProtocol):
 
     def _flush_page(self, proc: Processor, st: ProcProtoState,
                     ns: NodeState2L, page: int, meta: PageMeta) -> None:
-        costs = self.costs
+        if self.trace is None:
+            self._flush_page_inner(proc, st, ns, page, meta)
+            return
+        t0 = proc.clock
+        self._flush_page_inner(proc, st, ns, page, meta)
+        self.trace.span("page_flush", proc, t0, proc.clock - t0, obj=page)
+
+    def _flush_page_inner(self, proc: Processor, st: ProcProtoState,
+                          ns: NodeState2L, page: int, meta: PageMeta) -> None:
         home = self.directory.home(page)
         table = self.tables[st.owner]
         meta.flush_ts = ns.tick()
@@ -453,19 +472,23 @@ class Cashmere2L(BaseProtocol):
                 proc.charge(self.config.diff_out_cost(diff.nbytes, True),
                             "protocol")
                 proc.stats.bump("flush_updates")
-                self._account_diff(proc, meta, diff)
+                self._account_diff(proc, meta, diff, page)
             else:
                 diff = flush_update(frame, meta.twin, self.master(page))
                 proc.charge(self.config.diff_out_cost(diff.nbytes, True),
                             "protocol")
-                self._account_diff(proc, meta, diff)
+                self._account_diff(proc, meta, diff, page)
                 meta.twin = None  # last writer: the twin is garbage now
 
         # Write notices to every sharing node except us and the home.
         self._send_write_notices(proc, st, page)
 
-    def _account_diff(self, proc: Processor, meta: PageMeta, diff) -> None:
+    def _account_diff(self, proc: Processor, meta: PageMeta, diff,
+                      page: int) -> None:
         if diff.nbytes:
+            if self.trace is not None:
+                self.trace.instant("diff_out", proc, proc.clock, obj=page,
+                                   bytes=int(diff.nbytes))
             send_done, visible = self.mc.transfer(proc.clock, diff.nbytes,
                                                   category="diff")
             if send_done > proc.clock:
@@ -521,11 +544,14 @@ class Cashmere2L(BaseProtocol):
             peer.charge(per_target, "protocol")
         proc.charge(per_target * max(1, len(targets)), "protocol")
         proc.stats.bump("shootdowns")
+        if self.trace is not None:
+            self.trace.instant("shootdown", proc, proc.clock, obj=page,
+                               targets=len(targets))
         if meta.twin is not None:
             diff = flush_update(st.frames[page], meta.twin, self.master(page))
             proc.charge(self.config.diff_out_cost(diff.nbytes, True),
                         "protocol")
-            self._account_diff(proc, meta, diff)
+            self._account_diff(proc, meta, diff, page)
             meta.twin = None
         self._send_write_notices(proc, st, page)
 

@@ -90,6 +90,11 @@ class RequestEngine:
         # The servicing processor loses this time to protocol work.
         server.charge(costs.handler_entry + handler_cost, "protocol")
         server.stats.bump("requests_served")
+        trace = self.cluster.trace
+        if trace is not None:
+            trace.span("request_service", server, begin, end - begin,
+                       obj=category, requester=requester.global_id,
+                       bytes=reply_bytes)
 
         if reply_bytes > 0:
             _, visible = self.mc.transfer(end, reply_bytes, category=category)

@@ -190,6 +190,16 @@ class OneLevelProtocol(BaseProtocol):
             self._break_exclusive(proc, page, holder)
 
     def _fetch(self, proc: Processor, st: ProcProtoState, page: int) -> None:
+        if self.trace is None:
+            self._fetch_inner(proc, st, page)
+            return
+        t0 = proc.clock
+        self._fetch_inner(proc, st, page)
+        self.trace.span("page_fetch", proc, t0, proc.clock - t0, obj=page,
+                        bytes=self.config.page_bytes)
+
+    def _fetch_inner(self, proc: Processor, st: ProcProtoState,
+                     page: int) -> None:
         proc.charge(self.costs.fetch_overhead, "protocol")
         entry = self.directory.entry(page)
         holder = entry.exclusive_holder()
@@ -213,6 +223,9 @@ class OneLevelProtocol(BaseProtocol):
             diff = incoming_diff(payload, st.frames[page], twin,
                                  context=f"1-level fetch of page {page}")
             proc.charge(self.config.diff_in_cost(diff.nbytes), "protocol")
+            if self.trace is not None:
+                self.trace.instant("diff_in", proc, proc.clock, obj=page,
+                                   bytes=int(diff.nbytes))
         else:
             self.frames.map_frame(st.owner, page, payload)
             proc.charge(self.config.page_copy_cost(), "protocol")
@@ -267,11 +280,15 @@ class OneLevelProtocol(BaseProtocol):
                 cost += self.costs.mprotect
             return frame.copy(), cost, page_bytes + PAGE_HEADER_BYTES
 
+        t0 = proc.clock
         payload, done = self.requests.explicit_request(
             proc, self.node_of_owner(holder_owner), handler,
             target_proc=holder_owner, category="page")
         if done > proc.clock:
             proc.charge(done - proc.clock, "comm_wait")
+        if self.trace is not None:
+            self.trace.span("excl_break", proc, t0, proc.clock - t0,
+                            obj=page, holder=holder_owner)
         return payload
 
     # ------------------------------------------------------------ acquire side
@@ -309,6 +326,15 @@ class OneLevelProtocol(BaseProtocol):
 
     def _flush_one(self, proc: Processor, st: ProcProtoState,
                    page: int) -> None:
+        if self.trace is None:
+            self._flush_one_inner(proc, st, page)
+            return
+        t0 = proc.clock
+        self._flush_one_inner(proc, st, page)
+        self.trace.span("page_flush", proc, t0, proc.clock - t0, obj=page)
+
+    def _flush_one_inner(self, proc: Processor, st: ProcProtoState,
+                         page: int) -> None:
         entry = self.directory.entry(page)
         home_owner = entry.home_owner
         uses_master = self._uses_master(st, page)
@@ -329,6 +355,9 @@ class OneLevelProtocol(BaseProtocol):
                 proc.charge(
                     self.config.diff_out_cost(diff.nbytes, not local),
                     "protocol")
+                if self.trace is not None:
+                    self.trace.instant("diff_out", proc, proc.clock,
+                                       obj=page, bytes=int(diff.nbytes))
                 if not local and diff.nbytes:
                     send_done, _ = self.mc.transfer(proc.clock, diff.nbytes,
                                                     category="diff")
@@ -400,7 +429,10 @@ class Cashmere1L(OneLevelProtocol):
               value: float) -> None:
         st = self._ps[proc.global_id]
         if st.rows[page][st.lidx] < Perm.WRITE:
-            self.write_fault(proc, st, page)
+            if self.trace is None:
+                self.write_fault(proc, st, page)
+            else:
+                self._traced_write_fault(proc, st, page)
         st.frames[page][offset] = value
         self._double_words(proc, st, page, offset, 1,
                            np.float64(value))
@@ -411,7 +443,10 @@ class Cashmere1L(OneLevelProtocol):
                     values: np.ndarray) -> None:
         st = self._ps[proc.global_id]
         if st.rows[page][st.lidx] < Perm.WRITE:
-            self.write_fault(proc, st, page)
+            if self.trace is None:
+                self.write_fault(proc, st, page)
+            else:
+                self._traced_write_fault(proc, st, page)
         st.frames[page][lo:lo + len(values)] = values
         self._double_words(proc, st, page, lo, len(values), values)
         if self.tracer is not None:

@@ -31,6 +31,10 @@ class WriteNotice:
 class NoticeBoard:
     """One owner's global write-notice list: a bin per remote owner."""
 
+    #: Optional event tracer (:class:`repro.trace.Tracer`); set on every
+    #: board by :func:`repro.trace.attach_tracer`.
+    trace = None
+
     def __init__(self, owner: int, num_owners: int) -> None:
         self.owner = owner
         self.bins: list[deque[WriteNotice]] = [deque()
@@ -41,6 +45,9 @@ class NoticeBoard:
         """Append a notice to ``from_owner``'s bin (a remote MC write)."""
         self.bins[from_owner].append(WriteNotice(page, from_owner, visible_at))
         self.posted += 1
+        if self.trace is not None:
+            self.trace.instant("write_notice", None, visible_at, obj=page,
+                               from_owner=from_owner, to_owner=self.owner)
 
     def collect(self, upto: float) -> list[WriteNotice]:
         """Consume every notice visible by time ``upto`` (bin order)."""

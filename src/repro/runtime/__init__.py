@@ -1,6 +1,7 @@
 """DSM runtime: shared segment, worker environment, program runners."""
 
-from .api import SharedArray, SharedSegment, checking, checking_enabled
+from .api import (SharedArray, SharedSegment, checking, checking_enabled,
+                  tracing, tracing_enabled)
 from .env import WorkerEnv
 from .program import (ComparisonResult, ParallelRuntime, RunResult, run_app,
                       run_and_verify)
@@ -10,5 +11,5 @@ __all__ = [
     "SharedArray", "SharedSegment", "WorkerEnv", "SequentialEnv",
     "ParallelRuntime", "RunResult", "ComparisonResult",
     "run_app", "run_and_verify", "run_sequential",
-    "checking", "checking_enabled",
+    "checking", "checking_enabled", "tracing", "tracing_enabled",
 ]

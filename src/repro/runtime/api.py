@@ -52,6 +52,41 @@ def checking_enabled(config: MachineConfig) -> bool:
     return bool(config.checking or _checking_depth)
 
 
+#: Nesting depth of active :func:`tracing` context managers. When
+#: positive, every :class:`~repro.runtime.ParallelRuntime` built attaches
+#: an event tracer regardless of its config flag.
+_tracing_depth = 0
+
+
+@contextlib.contextmanager
+def tracing():
+    """Force event tracing for all runtimes built in this scope.
+
+    The scoped equivalent of ``MachineConfig(tracing=True)``: any app,
+    example, or test that builds a :class:`~repro.runtime.ParallelRuntime`
+    inside the ``with`` block records protocol events into a
+    :class:`~repro.trace.Tracer`, available afterwards as
+    ``result.trace``::
+
+        with tracing():
+            result = run_app(app, params, config, protocol="2L")
+        write_chrome_trace(result.trace, "trace.json")
+
+    Nesting is allowed; tracing stays on until the outermost block exits.
+    """
+    global _tracing_depth
+    _tracing_depth += 1
+    try:
+        yield
+    finally:
+        _tracing_depth -= 1
+
+
+def tracing_enabled(config: MachineConfig) -> bool:
+    """Should a runtime built with ``config`` attach an event tracer?"""
+    return bool(config.tracing or _tracing_depth)
+
+
 @dataclass(frozen=True)
 class SharedArray:
     """A named, contiguous range of shared words."""

@@ -24,7 +24,8 @@ from ..errors import ConfigError
 from ..protocol import make_protocol
 from ..stats.counters import RunStats
 from ..sync import Barrier, FlagSet, MCLock
-from .api import SharedSegment, checking_enabled
+from ..trace import Tracer, attach_tracer
+from .api import SharedSegment, checking_enabled, tracing_enabled
 from .env import WorkerEnv
 from .sequential import run_sequential
 from ..sim.process import ProcessGroup
@@ -60,6 +61,11 @@ class ParallelRuntime:
         self.checker = None
         if checking_enabled(self.config):
             self.checker = attach_checker(self.cluster, self.protocol)
+        #: Event tracer (:class:`repro.trace.Tracer`), when enabled via
+        #: ``config.tracing`` or ``runtime.api.tracing()``.
+        self.trace: Tracer | None = None
+        if tracing_enabled(self.config):
+            self.trace = attach_tracer(self.cluster, self.protocol)
         self.segment = SharedSegment(self.config)
         app.declare(self.segment, params)
         self.barrier = Barrier(self.cluster, self.protocol)
@@ -104,7 +110,12 @@ class ParallelRuntime:
                                  exec_time, self.cluster.mc.traffic)
         # The Table 3 "Barriers" row counts barrier episodes, not crossings.
         stats.aggregate.counters["barriers"] = self.barrier.episodes
-        return RunResult(self, stats)
+        if self.trace is not None:
+            self.trace.finalize(
+                app=self.app.name, protocol=self.protocol.name,
+                exec_time_us=exec_time, nodes=self.config.nodes,
+                procs_per_node=self.config.procs_per_node)
+        return RunResult(self, stats, trace=self.trace)
 
     # --- result extraction ------------------------------------------------------------
 
@@ -147,6 +158,8 @@ class RunResult:
 
     runtime: ParallelRuntime
     stats: RunStats
+    #: The event trace of this run (None unless tracing was enabled).
+    trace: Tracer | None = None
 
     def array(self, name: str) -> np.ndarray:
         return self.runtime.read_array(name)

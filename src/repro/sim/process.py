@@ -96,6 +96,10 @@ class ExecutionContext:
     """
 
     clock: float = 0.0
+    #: Optional event tracer (:class:`repro.trace.Tracer`); the cluster
+    #: layer's ``Processor`` carries the shared instance when tracing is
+    #: enabled, plain contexts leave it ``None``.
+    trace = None
 
     def charge(self, us: float, bucket: str) -> None:
         """Advance the local clock, accounting ``us`` to ``bucket``."""
@@ -127,6 +131,9 @@ class SimProcess:
         self.result: Any = None
         self._parked_on: tuple[Condition, ...] = ()
         self._wait: Wait | None = None
+        #: Sim time at which the current Wait began blocking (for trace
+        #: spans and deadlock reports).
+        self._wait_since = 0.0
         self._registry: "ProcessGroup | None" = None
         # One stable bound-method object: park/unpark match by identity,
         # and ``self._wake`` would create a fresh object on every access.
@@ -188,6 +195,8 @@ class SimProcess:
         if value:
             self.sim.schedule(self.ctx.clock, lambda: self._step(value))
             return
+        if self._wait is not wait:
+            self._wait_since = self.ctx.clock
         self._wait = wait
         conds = tuple(wait.conditions) + tuple(self.ctx.poll_conditions())
         self._parked_on = conds
@@ -211,6 +220,12 @@ class SimProcess:
         value = wait.predicate()
         if value:
             self._wait = None
+            trace = self.ctx.trace
+            if trace is not None:
+                conds = ",".join(c.name or "?" for c in wait.conditions)
+                trace.span("wait", self.ctx, self._wait_since,
+                           self.ctx.clock - self._wait_since, obj=conds,
+                           bucket=wait.bucket)
             self._step(value)
         else:
             self._begin_wait(wait)
@@ -220,6 +235,31 @@ class SimProcess:
         self.result = result
         if self._registry is not None:
             self._registry.on_completion(self)
+
+
+#: Blocked processes listed individually in a deadlock report before the
+#: remainder is summarized.
+_DEADLOCK_DETAIL_LIMIT = 16
+
+
+def _describe_blocked(procs: Sequence["SimProcess"]) -> str:
+    """One line per blocked process: what it waits on, since when."""
+    lines = []
+    for p in procs[:_DEADLOCK_DETAIL_LIMIT]:
+        wait = p._wait
+        if wait is None:
+            lines.append(f"  - {p.name}: not parked "
+                         f"(clock {p.ctx.clock:.1f} us)")
+            continue
+        conds = ", ".join(c.name or "<unnamed>" for c in wait.conditions)
+        lines.append(
+            f"  - {p.name}: waiting on [{conds}] "
+            f"since t={p._wait_since:.1f} us "
+            f"(bucket {wait.bucket}, clock {p.ctx.clock:.1f} us)")
+    if len(procs) > _DEADLOCK_DETAIL_LIMIT:
+        lines.append(f"  ... and {len(procs) - _DEADLOCK_DETAIL_LIMIT} "
+                     f"more blocked process(es)")
+    return "\n".join(lines)
 
 
 class ProcessGroup:
@@ -256,9 +296,9 @@ class ProcessGroup:
             raise self._failure
         remaining = [p for p in self.processes if not p.done]
         if remaining:
-            names = ", ".join(p.name for p in remaining[:8])
             raise DeadlockError(
-                f"{len(remaining)} process(es) never completed: {names}")
+                f"deadlock: {len(remaining)} process(es) never completed:\n"
+                + _describe_blocked(remaining))
         return end
 
     def _idle_check(self) -> None:
@@ -267,10 +307,9 @@ class ProcessGroup:
         parked = [p for p in self.processes if not p.done and p.parked]
         alive = [p for p in self.processes if not p.done]
         if alive and len(parked) == len(alive):
-            names = ", ".join(p.name for p in parked[:8])
             raise DeadlockError(
                 f"simulation deadlock: {len(parked)} process(es) parked "
-                f"with no pending events: {names}")
+                f"with no pending events:\n" + _describe_blocked(parked))
 
 
 def run_all(sim: Simulator,

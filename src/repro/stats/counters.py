@@ -12,6 +12,7 @@ harness formats them into the paper's tables.
 
 from __future__ import annotations
 
+import difflib
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -51,9 +52,11 @@ _KNOWN_COUNTERS = frozenset(COUNTER_NAMES)
 
 def _require_known(counter: str) -> None:
     if counter not in _KNOWN_COUNTERS:
+        close = difflib.get_close_matches(counter, COUNTER_NAMES, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise UnknownCounterError(
-            f"unknown stats counter {counter!r}; canonical names are "
-            f"listed in repro.stats.COUNTER_NAMES (add new counters "
+            f"unknown stats counter {counter!r}{hint}; canonical names "
+            f"are listed in repro.stats.COUNTER_NAMES (add new counters "
             f"there first)")
 
 

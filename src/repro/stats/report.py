@@ -38,7 +38,7 @@ def _fmt(value: Any) -> str:
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, int):
-        return f"{value:,}".replace(",", " ") if value >= 100000 \
+        return f"{value:,}".replace(",", " ") if abs(value) >= 100000 \
             else str(value)
     if isinstance(value, float):
         if value == 0:

@@ -51,6 +51,8 @@ class Barrier:
         costs = self.cluster.config.costs
         mc = self.cluster.mc
         tracer = self.protocol.tracer
+        trace = self.protocol.trace
+        t_enter = proc.clock
 
         # Arrival-side consistency: flush pages we are the last local
         # writer of (two-level) or a plain release (one-level).
@@ -87,6 +89,8 @@ class Barrier:
         if tracer is not None:
             # Arrival is a release: all flushes for this episode ran above.
             tracer.on_barrier_arrive(proc, target)
+        if trace is not None:
+            trace.instant("barrier_arrive", proc, proc.clock, obj=target)
 
         region = self.region
         nslots = self.slots
@@ -107,3 +111,6 @@ class Barrier:
         self.protocol.acquire_sync(proc)
         if tracer is not None:
             tracer.on_barrier_depart(proc, target)
+        if trace is not None:
+            trace.span("barrier", proc, t_enter, proc.clock - t_enter,
+                       obj=target)

@@ -34,10 +34,15 @@ class FlagSet:
         proc.charge(self.cluster.config.costs.mc_word_write, "protocol")
         self.cluster.mc.write_word(self.region, index, value, proc.clock,
                                    category="sync")
+        trace = self.protocol.trace
+        if trace is not None:
+            trace.instant("flag_set", proc, proc.clock,
+                          obj=f"{self.name}[{index}]", value=value)
 
     def wait(self, proc: Processor, index: int, value: int = 1):
         """Generator: spin until the flag reaches ``value``, then acquire."""
         region = self.region
+        t_enter = proc.clock
 
         def ready() -> bool:
             return region.read(index, proc.clock) >= value
@@ -50,6 +55,10 @@ class FlagSet:
         tracer = self.protocol.tracer
         if tracer is not None:
             tracer.on_acquire(proc, ("flag", self.name, index))
+        trace = self.protocol.trace
+        if trace is not None:
+            trace.span("flag_wait", proc, t_enter, proc.clock - t_enter,
+                       obj=f"{self.name}[{index}]")
 
     def peek(self, proc: Processor, index: int) -> int:
         """Read the flag without acquiring (no consistency action)."""

@@ -66,6 +66,9 @@ class MCLock:
         self._free_visible_at = 0.0
         self._grant = Condition(cluster.sim, name=f"lockgrant[{lock_id}]")
         self.contended_retries = 0
+        #: Sim time the current holder completed its acquire (hold-span
+        #: start for the event trace; valid while ``_holder`` is set).
+        self._acquired_at = 0.0
 
     def _slot(self, proc: Processor) -> int:
         return self.protocol.owner_of(proc)
@@ -83,6 +86,7 @@ class MCLock:
         """Generator: acquire the lock, then run acquire-side consistency."""
         costs = self.cluster.config.costs
         mc = self.cluster.mc
+        t_request = proc.clock
         if self.two_level:
             # Local ll/sc phase: at most one competitor per node.
             proc.charge(costs.llsc_lock, "protocol")
@@ -119,6 +123,11 @@ class MCLock:
         mc.write_word(self.region, slot, 1, proc.clock, category="sync")
         yield Sleep(costs.mc_latency, bucket="comm_wait")
         proc.charge(0.1 * len(self.region), "protocol")  # array scan
+        self._acquired_at = proc.clock
+        trace = self.protocol.trace
+        if trace is not None:
+            trace.span("lock_wait", proc, t_request,
+                       proc.clock - t_request, obj=f"lock {self.lock_id}")
 
         proc.stats.bump("lock_acquires")
         self.protocol.acquire_sync(proc)
@@ -143,6 +152,11 @@ class MCLock:
         proc.charge(costs.mc_lock_overhead, "protocol")
         self.cluster.mc.write_word(self.region, slot, 0, proc.clock,
                                    category="sync")
+        trace = self.protocol.trace
+        if trace is not None:
+            trace.span("lock_hold", proc, self._acquired_at,
+                       proc.clock - self._acquired_at,
+                       obj=f"lock {self.lock_id}")
         self._holder = None
         # The release becomes globally visible after loop-back; waiters
         # (including any that park between now and then) wake at that time.

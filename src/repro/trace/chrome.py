@@ -1,0 +1,105 @@
+"""Chrome ``trace_event`` export.
+
+Converts a :class:`~repro.trace.Tracer`'s events into the Trace Event
+Format consumed by Perfetto (https://ui.perfetto.dev) and Chrome's
+``about:tracing``: one process per simulated node, one thread (track)
+per simulated processor, duration events (``ph: "X"``) for spans such
+as fault service, lock holds, and time-bucket charges, and instant
+events (``ph: "i"``) for faults-of-a-moment such as diffs, shootdowns,
+and write notices. Memory Channel wire activity gets its own process so
+network occupancy reads as a separate swim-lane.
+
+Timestamps are microseconds in both systems, so simulated times pass
+through unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from .events import NO_PROC, TraceEvent
+from .tracer import Tracer
+
+#: pid offset for the synthetic Memory Channel process (placed after
+#: the last node so node pids equal node ids).
+_MC_TID = 0
+
+
+def _mc_pid(events: Iterable[TraceEvent], meta: dict) -> int:
+    nodes = meta.get("nodes")
+    if nodes is None:
+        nodes = max((ev.node for ev in events), default=-1) + 1
+    return int(nodes)
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """The full Chrome ``trace_event`` JSON document, as a dict."""
+    events = tracer.events
+    mc_pid = _mc_pid(events, tracer.meta)
+
+    out: list[dict] = []
+    seen_tracks: set[tuple[int, int]] = set()
+    for ev in sorted(events, key=lambda e: (e.t0, e.proc, e.kind)):
+        pid = mc_pid if ev.node == NO_PROC else ev.node
+        tid = _MC_TID if ev.proc == NO_PROC else ev.proc
+        seen_tracks.add((pid, tid))
+        args: dict = {}
+        if ev.obj is not None:
+            args["obj"] = ev.obj
+        args.update(ev.payload)
+        rec = {
+            "name": str(ev.kind),
+            "cat": ev.family,
+            "ts": ev.t0,
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            rec["args"] = args
+        if ev.dur > 0:
+            rec["ph"] = "X"
+            rec["dur"] = ev.dur
+        else:
+            rec["ph"] = "i"
+            rec["s"] = "t"  # thread-scoped instant
+        out.append(rec)
+
+    out.extend(_metadata_events(seen_tracks, mc_pid))
+    doc = {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+    }
+    if tracer.meta:
+        doc["otherData"] = {k: v for k, v in tracer.meta.items()
+                            if isinstance(v, (str, int, float, bool))}
+    if tracer.dropped:
+        doc.setdefault("otherData", {})["dropped_events"] = tracer.dropped
+    return doc
+
+
+def _metadata_events(tracks: set[tuple[int, int]], mc_pid: int) -> list[dict]:
+    """process/thread naming and ordering metadata."""
+    meta: list[dict] = []
+    for pid in sorted({p for p, _ in tracks}):
+        name = "Memory Channel" if pid == mc_pid else f"node {pid}"
+        meta.append({"ph": "M", "name": "process_name", "pid": pid,
+                     "args": {"name": name}})
+        meta.append({"ph": "M", "name": "process_sort_index", "pid": pid,
+                     "args": {"sort_index": pid}})
+    for pid, tid in sorted(tracks):
+        name = "wire" if pid == mc_pid else f"cpu {tid}"
+        meta.append({"ph": "M", "name": "thread_name", "pid": pid,
+                     "tid": tid, "args": {"name": name}})
+    return meta
+
+
+def write_chrome_trace(tracer: Tracer, path_or_file: str | IO[str]) -> int:
+    """Write the Chrome trace JSON; returns the number of trace events."""
+    doc = to_chrome_trace(tracer)
+    if hasattr(path_or_file, "write"):
+        json.dump(doc, path_or_file)
+    else:
+        with open(path_or_file, "w") as fh:
+            json.dump(doc, fh)
+    return len(doc["traceEvents"])

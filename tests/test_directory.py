@@ -4,10 +4,9 @@ import pytest
 
 from repro.config import MachineConfig
 from repro.errors import ProtocolError
-from repro.protocol.directory import (NO_HOLDER, DirectoryLockModel,
-                                      DirEntry, DirWord, GlobalDirectory,
-                                      PageMeta)
-from repro.protocol.writenotice import (NLEList, NoticeBoard, PerProcNotices)
+from repro.protocol.directory import (DirectoryLockModel, DirEntry, DirWord,
+                                      GlobalDirectory, PageMeta)
+from repro.protocol.writenotice import NLEList, NoticeBoard, PerProcNotices
 from repro.vm.page import Perm
 
 

@@ -66,7 +66,6 @@ class TestSmallScaleHarnesses:
     """Run the table/figure harnesses on a small platform + small apps."""
 
     def test_table3_small(self):
-        from dataclasses import replace
         from repro.experiments.configs import FULL_PLATFORM
         cfg = FULL_PLATFORM.with_placement(8, 2)
         res = run_table3(apps=("Em3d",), protocols=("2L", "1LD"),
@@ -104,3 +103,34 @@ class TestRunnerCLI:
         assert main(["table2", "Em3d"]) == 0
         out = capsys.readouterr().out
         assert "Table 2" in out
+
+    def test_table2_cli_json(self, capsys):
+        import json
+        from repro.experiments.runner import main
+        assert main(["table2", "Em3d", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["experiment"] == "table2"
+        assert doc["data"][0]["app"] == "Em3d"
+
+    def test_trace_cli_requires_single_app(self):
+        from repro.experiments.runner import main
+        with pytest.raises(SystemExit):
+            main(["trace"])
+        with pytest.raises(SystemExit):
+            main(["profile", "SOR", "Water"])
+
+    def test_trace_cli_writes_chrome_json(self, tmp_path, capsys):
+        import json
+        from repro.experiments.runner import main
+        out = tmp_path / "trace.json"
+        assert main(["trace", "sor", "--out", str(out)]) == 0
+        assert "perfetto" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["app"] == "SOR"
+
+    def test_profile_cli(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["profile", "sor", "--protocol", "1LD"]) == 0
+        out = capsys.readouterr().out
+        assert "Hot pages" in out and "Barrier episodes" in out

@@ -1,7 +1,6 @@
 """Unit tests for the explicit request/reply engine."""
 
 import pytest
-from dataclasses import replace
 
 from repro.cluster.machine import Cluster
 from repro.config import MachineConfig

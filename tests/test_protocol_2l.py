@@ -6,16 +6,11 @@ outgoing diffs, exclusive mode, no-longer-exclusive lists, directory
 maintenance, timestamps, and first-touch home relocation.
 """
 
-import numpy as np
-import pytest
-
 from repro.cluster.machine import Cluster
 from repro.config import MachineConfig
 from repro.protocol import make_protocol
-from repro.protocol.directory import NO_HOLDER
 from repro.sim.process import Compute, ProcessGroup
 from repro.sync import Barrier
-from repro.vm.page import Perm
 
 
 def make(nodes=2, ppn=2, protocol="2L", pages=8, **kw):

@@ -2,12 +2,10 @@
 home-node optimization."""
 
 import numpy as np
-import pytest
 
 from repro.cluster.machine import Cluster
 from repro.config import MachineConfig
 from repro.protocol import make_protocol
-from repro.protocol.directory import NO_HOLDER
 from repro.sim.process import Compute, ProcessGroup
 from repro.vm.page import Perm
 

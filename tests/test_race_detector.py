@@ -8,7 +8,6 @@ corruption — injected behind the protocol's back — must raise a
 structured :class:`CoherenceViolation` naming the divergent word.
 """
 
-import numpy as np
 import pytest
 
 from repro.check import CheckContext, attach_checker

@@ -9,7 +9,6 @@ from repro.apps.base import Application, split_range
 from repro.errors import ConfigError, SimulationError
 from repro.runtime.api import SharedSegment
 from repro.runtime.program import ParallelRuntime
-from repro.sim.process import Compute
 
 CFG = MachineConfig(nodes=2, procs_per_node=2, page_bytes=512)
 

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.errors import UnknownCounterError
+from repro.sim.process import TIME_BUCKETS
 from repro.stats.counters import COUNTER_NAMES, ProcStats, RunStats
+from repro.stats.report import _fmt, format_table, kilo, pct_change
 
 
 class TestProcStats:
@@ -42,6 +44,18 @@ class TestProcStats:
         with pytest.raises(UnknownCounterError, match="read_fautls"):
             ps.bump("read_fautls")
         assert not ps.counters  # nothing was recorded
+
+    def test_unknown_counter_suggests_nearest_name(self):
+        ps = ProcStats()
+        with pytest.raises(UnknownCounterError,
+                           match="did you mean 'read_faults'"):
+            ps.bump("read_fautls")
+
+    def test_unknown_counter_with_no_close_match(self):
+        ps = ProcStats()
+        with pytest.raises(UnknownCounterError) as exc:
+            ps.bump("zzzzzzzz")
+        assert "did you mean" not in str(exc.value)
 
 
 class TestRunStats:
@@ -83,8 +97,65 @@ class TestRunStats:
         run = RunStats()
         assert sum(run.breakdown_fractions().values()) == 0.0
 
+    def test_breakdown_zero_time_covers_every_bucket(self):
+        """The zero-time path must still return one entry per bucket so
+        callers can index without KeyError."""
+        fracs = RunStats().breakdown_fractions()
+        assert set(fracs) == set(TIME_BUCKETS)
+        assert all(v == 0.0 for v in fracs.values())
+
     def test_table3_row_fields(self):
         row = self.make().table3_row()
         assert row["page_transfers"] == 6
         assert row["exec_time_s"] == pytest.approx(2.0)
         assert row["data_mbytes"] == pytest.approx(1.5)
+
+
+class TestReportFormatting:
+    def test_fmt_none_is_dash(self):
+        assert _fmt(None) == "-"
+
+    def test_fmt_strings_pass_through(self):
+        assert _fmt("2LS") == "2LS"
+
+    def test_fmt_bools_before_ints(self):
+        """bool is a subclass of int; it must render yes/no, not 1/0."""
+        assert _fmt(True) == "yes"
+        assert _fmt(False) == "no"
+
+    def test_fmt_small_ints_plain(self):
+        assert _fmt(0) == "0"
+        assert _fmt(99999) == "99999"
+
+    def test_fmt_large_ints_space_grouped(self):
+        assert _fmt(100000) == "100 000"
+        assert _fmt(1234567) == "1 234 567"
+
+    def test_fmt_negative_ints(self):
+        assert _fmt(-42) == "-42"
+        assert _fmt(-1234567) == "-1 234 567"
+
+    def test_fmt_float_magnitudes(self):
+        assert _fmt(0.0) == "0"
+        assert _fmt(3.14159) == "3.14"
+        assert _fmt(12.345) == "12.3"
+        assert _fmt(1234.5) == "1 234"
+
+    def test_fmt_negative_floats(self):
+        assert _fmt(-3.14159) == "-3.14"
+        assert _fmt(-12.345) == "-12.3"
+        assert _fmt(-1234.5) == "-1 234"
+
+    def test_format_table_renders_all_rows(self):
+        out = format_table("T", ["a", "b"],
+                           [("row1", [1, None]), ("row2", [True, 2.5])])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "row1" in out and "row2" in out
+        assert "-" in lines[4] and "yes" in lines[5]
+
+    def test_kilo_and_pct_change(self):
+        assert kilo(2500) == pytest.approx(2.5)
+        assert pct_change(50.0, 100.0) == pytest.approx(50.0)
+        assert pct_change(150.0, 100.0) == pytest.approx(-50.0)
+        assert pct_change(1.0, 0.0) == 0.0
