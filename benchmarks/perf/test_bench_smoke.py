@@ -1,0 +1,49 @@
+"""Smoke test for the wall-clock bench harness (not a timing assertion).
+
+Runs the quick suite once and checks the report's shape: every benchmark
+present, positive wall times, simulator throughput reported for the full
+runs, and the baseline comparison/regression gate wired up. Wall-clock
+*values* are never asserted — CI machines are too variable — except
+through the deliberately loose access gate exercised here with a
+synthetic baseline.
+"""
+
+import json
+import os
+
+from repro.experiments.bench import (ACCESS_REGRESSION_FACTOR, BenchReport,
+                                     BenchResult, run_bench)
+
+_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+EXPECTED = {"access", "fault_storm", "barrier", "sor32", "water32"}
+
+
+def test_quick_bench_report_shape():
+    report = run_bench(quick=True, baseline_path=_BASELINE)
+    data = report.to_json()
+    assert data["schema"] == "cashmere-bench-1"
+    assert data["quick"] is True
+    assert set(data["benchmarks"]) == EXPECTED
+    for name, entry in data["benchmarks"].items():
+        assert entry["wall_s"] > 0, name
+    for full in ("sor32", "water32"):
+        assert data["benchmarks"][full]["sim_us"] > 0
+        assert data["benchmarks"][full]["sim_us_per_wall_s"] > 0
+    # Baseline loaded and compared.
+    assert data["baseline"]["schema"] == "cashmere-bench-1"
+    assert set(data["speedup_vs_baseline"]) <= EXPECTED
+    assert json.dumps(data)  # serializable
+
+
+def test_regression_gate_fires_on_synthetic_baseline():
+    report = BenchReport(results=[BenchResult("access", wall_s=1.0, reps=1)],
+                         baseline={"benchmarks": {"access": {"wall_s": 0.1}}})
+    message = report.check_regression()
+    assert message is not None and "regressed" in message
+
+    healthy = BenchReport(
+        results=[BenchResult("access", wall_s=0.1, reps=1)],
+        baseline={"benchmarks": {
+            "access": {"wall_s": 0.1 / ACCESS_REGRESSION_FACTOR * 2.0}}})
+    assert healthy.check_regression() is None

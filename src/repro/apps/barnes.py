@@ -217,8 +217,9 @@ class Barnes(Application):
 
             # --- Phase 2: parallel force computation ----------------------
             if hi > lo:
-                count = int(env.get(treemeta, 0))
-                root = int(env.get(treemeta, 1))
+                meta = env.get_block(treemeta, 0, 2)
+                count = int(meta[0])
+                root = int(meta[1])
                 cells = env.get_block(cells_arr, 0,
                                       count * _CELL_WORDS) \
                     .reshape(count, _CELL_WORDS)

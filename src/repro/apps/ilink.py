@@ -62,6 +62,10 @@ class Ilink(Application):
         me, nprocs = env.rank, env.nprocs
         nonzeros = self._nonzeros(params)
         mine = nonzeros[me::nprocs]  # round-robin assignment
+        # Sparse-gather index vectors for the slave phase (fixed per run).
+        ib = (mine * 7 + 3) % n
+        ic = (mine * 13 + 11) % n
+        mine_int = [int(i) for i in mine]
 
         if me == 0:
             env.set_block(probs, 0, 1.0 / (1.0 + np.arange(n) % 29))
@@ -79,14 +83,17 @@ class Ilink(Application):
                 yield env.compute(n * _SERIAL_US, n * 16)
             yield from env.barrier()
 
-            # Slaves (and master): update assigned nonzero elements.
+            # Slaves (and master): update assigned nonzero elements. The
+            # three sparse reads per element are gathered from one block
+            # read of the pool (the element math is the same, elementwise);
+            # the scattered writes stay per-word — they are the multi-writer
+            # pattern the diffs must merge.
             if len(mine):
-                for i in mine:
-                    i = int(i)
-                    a = env.get(probs, i)
-                    b = env.get(probs, (i * 7 + 3) % n)
-                    c = env.get(probs, (i * 13 + 11) % n)
-                    env.set(update, i, a * (0.4 * b + 0.6 * c) + 1e-6)
+                pool = env.get_block(probs, 0, n)
+                vals = pool[mine] * (0.4 * pool[ib] + 0.6 * pool[ic]) + 1e-6
+                set_ = env.set
+                for j, i in enumerate(mine_int):
+                    set_(update, i, vals[j])
                 yield env.compute(len(mine) * _ELEM_US,
                                   len(mine) * _ELEM_MEM)
             yield from env.barrier()

@@ -74,6 +74,10 @@ class Processor(ExecutionContext):
         self.global_id = global_id
         self.clock = 0.0
         self.stats = ProcStats()
+        # Hoisted immutable config state (hot in run_compute/charge).
+        config = node.cluster.config
+        self._costs = config.costs
+        self._polling = config.polling
         #: Optional event tracer (:class:`repro.trace.Tracer`); when set,
         #: every bucket charge is recorded as a duration span.
         self.trace = None
@@ -89,23 +93,70 @@ class Processor(ExecutionContext):
         if self.trace is not None:
             self.trace.span(bucket, self, self.clock, us)
         self.clock += us
-        self.stats.charge(us, bucket)
+        # Inlined ProcStats.charge: this is the hottest call in the whole
+        # simulation (every simulated microsecond passes through here).
+        self.stats.buckets[bucket] += us
 
     def run_compute(self, cpu_us: float, mem_bytes: float) -> None:
-        costs = self.cluster.config.costs
-        self.charge(cpu_us, "user")
+        costs = self._costs
+        if self.trace is not None:
+            self.charge(cpu_us, "user")
+            if mem_bytes > 0:
+                service = mem_bytes / costs.node_bus_bandwidth
+                begin, end = self.node.bus.acquire(self.clock, service)
+                # Queueing delay and the transfer itself both stall the
+                # CPU; the paper counts cache-miss time as User time.
+                self.charge(end - self.clock, "user")
+            if self._polling:
+                self.charge(costs.poll_check, "polling")
+            return
+        # Untraced fast path: identical arithmetic to the charges above,
+        # with the per-call bucket bookkeeping inlined — and the bus
+        # booking inlined too when it lands past the end of the timeline
+        # (SerialResource.acquire's own fast path), the overwhelmingly
+        # common case for a processor whose clock advances monotonically.
+        buckets = self.stats.buckets
+        clock = self.clock
+        if cpu_us > 0:
+            buckets["user"] += cpu_us
+            clock += cpu_us
         if mem_bytes > 0:
             service = mem_bytes / costs.node_bus_bandwidth
-            begin, end = self.node.bus.acquire(self.clock, service)
-            # Queueing delay and the transfer itself both stall the CPU;
-            # the paper counts cache-miss time as User time.
-            self.charge(end - self.clock, "user")
-        if self.cluster.config.polling:
-            self.charge(costs.poll_check, "polling")
+            bus = self.node.bus
+            iv = bus._intervals
+            if not iv or iv[-1][1] <= clock:
+                bus.total_requests += 1
+                bus.busy_time += service
+                if service > 0:
+                    if iv and iv[-1][1] == clock:
+                        iv[-1][1] = clock + service
+                    else:
+                        iv.append([clock, clock + service])
+                        if len(iv) > 4096:
+                            del iv[:2048]
+                    # begin == clock: no queueing delay. The delta is
+                    # computed as ``end - clock`` (not ``service``) so the
+                    # accumulation is bit-identical to the traced path's
+                    # ``charge(end - self.clock)``.
+                    delta = clock + service - clock
+                    buckets["user"] += delta
+                    clock += delta
+            else:
+                begin, end = bus.acquire(clock, service)
+                delta = end - clock
+                if delta > 0:
+                    buckets["user"] += delta
+                    clock += delta
+        self.clock = clock
+        if self._polling:
+            poll = costs.poll_check
+            if poll > 0:
+                buckets["polling"] += poll
+                self.clock = clock + poll
 
     def service_requests(self) -> None:
         """Drain the node's request queue (the polling handler of Figure 5)."""
-        if self.request_runner is None or not self.cluster.config.polling:
+        if self.request_runner is None or not self._polling:
             return
         queue = self.node.request_queue
         index = 0

@@ -199,6 +199,15 @@ class MachineConfig:
     #: ``checking``, strictly observational — a traced run produces
     #: byte-identical statistics to an untraced one.
     tracing: bool = False
+    #: Enable the runtime's inline page-access cache (software TLB) in
+    #: :class:`~repro.runtime.env.WorkerEnv`: warm accesses to the
+    #: last-touched read/write page skip protocol dispatch entirely,
+    #: validated by per-owner generation counters. Behavior-preserving —
+    #: a fast-path run produces byte-identical statistics and results to
+    #: a slow-path run. Disable here, or set ``CASHMERE_NO_FASTPATH=1``
+    #: in the environment, to force every access through full dispatch
+    #: (debugging / the determinism regression tests).
+    fastpath: bool = True
     costs: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:

@@ -1,0 +1,305 @@
+"""Wall-clock benchmark harness: the repo's performance trajectory.
+
+Unlike every other experiment (which reports *simulated* time), ``bench``
+measures how long the simulator itself takes to run — the number the
+fast-path work optimizes. Four microbenchmarks plus two full application
+runs:
+
+``access``
+    Warm-path ``get``/``set``/``get_block``/``set_block`` through a real
+    :class:`~repro.runtime.env.WorkerEnv` (no faults after warmup): the
+    inline page-access cache's home turf.
+``fault_storm``
+    Rounds of page faults: every round each processor writes a page it
+    has never touched, so every access takes the full protocol path.
+``barrier``
+    Barrier episodes with no data access: synchronization machinery only.
+``sor32`` / ``water32``
+    Full 32-processor (8 nodes x 4) runs under 2L with default problem
+    sizes; also reports simulated-us per wall-second (simulator
+    throughput).
+
+Methodology: each benchmark is run ``reps`` times after one untimed
+warmup with the garbage collector disabled around the timed region, and
+the *best* wall time is reported — the minimum is the stable statistic on
+a machine with background load. Results can be written as a
+``BENCH_*.json`` and compared against a committed baseline
+(``benchmarks/perf/baseline.json``); the access microbenchmark gates CI
+at a 2x regression (headroom for runner speed variance).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import MachineConfig
+from ..apps import make_app
+from ..cluster.machine import Cluster
+from ..protocol import make_protocol
+from ..runtime.env import WorkerEnv
+from ..runtime.program import ParallelRuntime, run_app
+from ..sim.process import Charge, ProcessGroup
+from ..sync.barrier import Barrier
+
+#: Schema tag written into every BENCH_*.json.
+SCHEMA = "cashmere-bench-1"
+
+#: CI regression gate: fail when the access microbenchmark is more than
+#: this factor slower than the committed baseline.
+ACCESS_REGRESSION_FACTOR = 2.0
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's timing."""
+
+    name: str
+    wall_s: float               # best rep
+    reps: int
+    sim_us: float | None = None  # simulated time, for full runs
+
+    @property
+    def sim_us_per_wall_s(self) -> float | None:
+        if self.sim_us is None or self.wall_s <= 0:
+            return None
+        return self.sim_us / self.wall_s
+
+
+@dataclass
+class BenchReport:
+    """All benchmark results plus environment provenance."""
+
+    results: list[BenchResult] = field(default_factory=list)
+    quick: bool = False
+    baseline: dict | None = None
+    baseline_path: str | None = None
+
+    def result(self, name: str) -> BenchResult | None:
+        for r in self.results:
+            if r.name == name:
+                return r
+        return None
+
+    def to_json(self) -> dict:
+        benchmarks = {}
+        for r in self.results:
+            entry: dict = {"wall_s": r.wall_s, "reps": r.reps}
+            if r.sim_us is not None:
+                entry["sim_us"] = r.sim_us
+                entry["sim_us_per_wall_s"] = r.sim_us_per_wall_s
+            benchmarks[r.name] = entry
+        out = {
+            "schema": SCHEMA,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "quick": self.quick,
+            "benchmarks": benchmarks,
+        }
+        if self.baseline is not None:
+            out["baseline"] = self.baseline
+            if self.baseline_path:
+                out["baseline_path"] = self.baseline_path
+            speedups = {}
+            base_benches = self.baseline.get("benchmarks", {})
+            for r in self.results:
+                base = base_benches.get(r.name, {}).get("wall_s")
+                if base and r.wall_s > 0:
+                    speedups[r.name] = base / r.wall_s
+            out["speedup_vs_baseline"] = speedups
+        return out
+
+    def format(self) -> str:
+        lines = ["Wall-clock benchmarks (best of reps, gc off)",
+                 "--------------------------------------------"]
+        base_benches = (self.baseline or {}).get("benchmarks", {})
+        for r in self.results:
+            line = f"{r.name:12s} {r.wall_s * 1e3:9.1f} ms"
+            if r.sim_us is not None:
+                line += f"  ({r.sim_us_per_wall_s / 1e6:6.2f} sim-s/wall-s)"
+            base = base_benches.get(r.name, {}).get("wall_s")
+            if base and r.wall_s > 0:
+                line += f"  [{base / r.wall_s:4.2f}x vs baseline]"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def check_regression(self) -> str | None:
+        """CI gate: None when healthy, else a failure message."""
+        if self.baseline is None:
+            return None
+        access = self.result("access")
+        base = self.baseline.get("benchmarks", {}).get("access",
+                                                       {}).get("wall_s")
+        if access is None or not base:
+            return None
+        if access.wall_s > ACCESS_REGRESSION_FACTOR * base:
+            return (f"access microbenchmark regressed: {access.wall_s:.4f}s "
+                    f"vs baseline {base:.4f}s "
+                    f"(> {ACCESS_REGRESSION_FACTOR}x)")
+        return None
+
+
+def _best_of(fn, reps: int) -> float:
+    """Best wall time of ``reps`` calls after one untimed warmup."""
+    fn()  # warmup (imports, allocator, caches)
+    best = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        gc.enable()
+    return best
+
+
+# --- microbenchmarks ----------------------------------------------------------
+
+
+def bench_access(ops: int = 200_000) -> None:
+    """Warm get/set/get_block/set_block through a real WorkerEnv."""
+    app = make_app("SOR")
+    params = app.small_params()
+    rt = ParallelRuntime(app, params, MachineConfig(nodes=1,
+                                                    procs_per_node=1), "2L")
+    rt.protocol.end_initialization()
+    env = WorkerEnv(rt, rt.cluster.processors[0])
+    arr = rt.segment.array("red")
+    vals = np.arange(16.0)
+    # Touch once so the remaining iterations are all warm.
+    env.set(arr, 0, 1.0)
+    env.get(arr, 0)
+    for i in range(ops // 4):
+        env.set(arr, i % 64, 1.0)
+        env.get(arr, i % 64)
+        env.set_block(arr, 0, vals)
+        env.get_block(arr, 0, 16)
+
+
+def bench_fault_storm(rounds: int = 12, nodes: int = 2, ppn: int = 2,
+                      pages: int = 24) -> None:
+    """Every round, every processor writes a page it has never touched."""
+    cfg = MachineConfig(nodes=nodes, procs_per_node=ppn, page_bytes=512,
+                        shared_bytes=512 * (pages + 1))
+    cluster = Cluster(cfg)
+    proto = make_protocol("2L", cluster)
+    barrier = Barrier(cluster, proto)
+    proto.end_initialization()
+    nprocs = cluster.num_procs
+    wpp = cfg.words_per_page
+
+    def worker(proc):
+        def gen():
+            rank = proc.global_id
+            for rnd in range(rounds):
+                page = (rank + rnd * nprocs) % pages
+                for off in (0, wpp // 2, wpp - 1):
+                    proto.store(proc, page, off, float(rnd + 1))
+                    _ = proto.load(proc, page, off)
+                yield Charge(1.0, "user")
+                yield from barrier.wait(proc)
+        return gen()
+
+    group = ProcessGroup(cluster.sim)
+    for proc in cluster.processors:
+        group.spawn(proc, worker(proc), name=f"storm:p{proc.global_id}")
+    group.run()
+
+
+def bench_barrier(episodes: int = 300, nodes: int = 4, ppn: int = 2) -> None:
+    """Barrier episodes with no shared-data access."""
+    cfg = MachineConfig(nodes=nodes, procs_per_node=ppn)
+    cluster = Cluster(cfg)
+    proto = make_protocol("2L", cluster)
+    barrier = Barrier(cluster, proto)
+    proto.end_initialization()
+
+    def worker(proc):
+        def gen():
+            for _ in range(episodes):
+                yield Charge(1.0, "user")
+                yield from barrier.wait(proc)
+        return gen()
+
+    group = ProcessGroup(cluster.sim)
+    for proc in cluster.processors:
+        group.spawn(proc, worker(proc), name=f"bar:p{proc.global_id}")
+    group.run()
+
+
+def _full_run(app_name: str, small: bool = False) -> float:
+    """One full 8x4 run under 2L; returns the simulated time (us)."""
+    app = make_app(app_name)
+    params = app.small_params() if small else app.default_params()
+    config = MachineConfig(nodes=8, procs_per_node=4)
+    result = run_app(app, params, config, "2L")
+    return result.exec_time_us
+
+
+# --- driver -------------------------------------------------------------------
+
+
+def load_baseline(path: str) -> dict | None:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def run_bench(quick: bool = False, baseline_path: str | None = None,
+              progress=None) -> BenchReport:
+    """Run the benchmark suite; ``quick`` shrinks reps and problem sizes."""
+    report = BenchReport(quick=quick)
+    if baseline_path:
+        report.baseline = load_baseline(baseline_path)
+        report.baseline_path = baseline_path
+    reps = 2 if quick else 3
+
+    def note(name):
+        if progress is not None:
+            progress(name)
+
+    note("access")
+    ops = 50_000 if quick else 200_000
+    report.results.append(BenchResult(
+        "access", _best_of(lambda: bench_access(ops), reps), reps))
+
+    note("fault_storm")
+    rounds = 6 if quick else 12
+    report.results.append(BenchResult(
+        "fault_storm", _best_of(lambda: bench_fault_storm(rounds), reps),
+        reps))
+
+    note("barrier")
+    episodes = 100 if quick else 300
+    report.results.append(BenchResult(
+        "barrier", _best_of(lambda: bench_barrier(episodes), reps), reps))
+
+    note("sor32")
+    sim_us = [0.0]
+
+    def sor_run():
+        sim_us[0] = _full_run("SOR", small=quick)
+    report.results.append(BenchResult(
+        "sor32", _best_of(sor_run, reps), reps, sim_us=sim_us[0]))
+
+    note("water32")
+    wat_us = [0.0]
+
+    def water_run():
+        wat_us[0] = _full_run("Water", small=quick)
+    report.results.append(BenchResult(
+        "water32", _best_of(water_run, reps), reps, sim_us=wat_us[0]))
+
+    return report

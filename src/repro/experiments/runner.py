@@ -12,10 +12,18 @@ Usage (installed as ``cashmere-repro``)::
     cashmere-repro all     [--quick]
     cashmere-repro trace APP [--out trace.json] [--protocol 2L]
     cashmere-repro profile APP [--protocol 2L]
+    cashmere-repro bench   [--quick] [--json [BENCH_run.json]]
+                           [--baseline benchmarks/perf/baseline.json]
 
-``--quick`` restricts Figure 7 to three placements (4:1, 8:4, 32:4).
+``--quick`` restricts Figure 7 to three placements (4:1, 8:4, 32:4) and
+shrinks the bench suite's reps and problem sizes.
 ``--json`` prints machine-readable results instead of monospace tables
-(not applicable to ``trace``, whose output is already JSON).
+(not applicable to ``trace``, whose output is already JSON). For
+``bench``, ``--json PATH`` writes the report to ``PATH`` instead.
+
+``bench`` measures the simulator's *wall-clock* performance (every other
+experiment reports simulated time); with ``--baseline`` it exits nonzero
+when the access-path microbenchmark has regressed more than 2x.
 
 ``trace`` runs one application with event tracing and exports Chrome
 ``trace_event`` JSON viewable at https://ui.perfetto.dev; ``profile``
@@ -39,6 +47,7 @@ from .lockfree import run_lockfree_ablation
 from .polling import run_polling_ablation
 from .sensitivity import run_sensitivity
 from .shootdown import run_shootdown_ablation
+from .bench import run_bench
 from .table1 import run_table1
 from .table2 import format_table2, run_table2
 from .table3 import run_table3
@@ -77,21 +86,48 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["table1", "table2", "table3", "figure6",
                                  "figure7", "shootdown", "lockfree",
                                  "sensitivity", "polling", "all",
-                                 "trace", "profile"])
+                                 "trace", "profile", "bench"])
     parser.add_argument("apps", nargs="*",
                         help="restrict to these applications (required "
                              "single APP for trace/profile)")
     parser.add_argument("--quick", action="store_true",
-                        help="reduced placement set for figure7")
-    parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="print machine-readable JSON instead of tables")
+                        help="reduced placement set for figure7; smaller "
+                             "reps/problem sizes for bench")
+    parser.add_argument("--json", nargs="?", const=True, default=False,
+                        dest="as_json", metavar="PATH",
+                        help="print machine-readable JSON instead of "
+                             "tables; for bench, an optional PATH writes "
+                             "the report to a BENCH_*.json file")
     parser.add_argument("--out", default="trace.json",
                         help="output path for the trace subcommand")
     parser.add_argument("--protocol", default="2L", choices=PROTOCOL_ORDER,
                         help="protocol for the trace/profile subcommands")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="bench only: committed baseline JSON to "
+                             "compare against (exits nonzero if the "
+                             "access microbenchmark regressed > 2x)")
     args = parser.parse_args(argv)
 
     start = time.time()
+    if args.experiment == "bench":
+        report = run_bench(quick=args.quick, baseline_path=args.baseline,
+                           progress=lambda name: print(
+                               f"  bench: {name}...", file=sys.stderr))
+        if isinstance(args.as_json, str):
+            with open(args.as_json, "w") as fh:
+                json.dump(report.to_json(), fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.as_json}")
+        elif args.as_json:
+            print(json.dumps(report.to_json(), indent=2))
+        else:
+            print(report.format())
+        print(f"[{time.time() - start:.1f}s wall clock]", file=sys.stderr)
+        failure = report.check_regression()
+        if failure is not None:
+            print(f"BENCH REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        return 0
     if args.experiment in ("trace", "profile"):
         if len(args.apps) != 1:
             raise SystemExit(

@@ -60,12 +60,17 @@ class VersionedWord:
         """
         history = self._history
         at += 1e-6
-        for visible_at, value in reversed(history):
-            if visible_at <= at:
-                return value
-        # Reader predates all retained history; oldest retained value is
-        # the best (and, for protocol usage, only correct) answer.
-        return history[0][1]
+        entry = history[-1]
+        if entry[0] <= at:  # common case: all writes already visible
+            return entry[1]
+        # Walk back to the newest entry visible by ``at``; index 0 is the
+        # floor — a reader predating all retained history gets the oldest
+        # retained value (the best, and for protocol usage only correct,
+        # answer).
+        i = len(history) - 2
+        while i > 0 and history[i][0] > at:
+            i -= 1
+        return history[i][1]
 
     def last_visible_at(self) -> float:
         return self._history[-1][0]

@@ -17,7 +17,7 @@ from ..cluster.machine import Cluster, Node, Processor
 from ..config import MachineConfig
 from ..errors import ProtocolError
 from ..sim.engine import SerialResource
-from ..vm.page import FrameStore, Perm
+from ..vm.page import FrameStore, GenCounter, Perm
 from ..vm.pagetable import PageTable
 from .directory import DirectoryLockModel, GlobalDirectory
 from .messages import RequestEngine
@@ -30,11 +30,13 @@ PAGE_HEADER_BYTES = 32
 class ProcProtoState:
     """Per-processor protocol state, laid out for the access fast path."""
 
-    __slots__ = ("proc", "owner", "lidx", "rows", "frames", "dirty", "nle",
-                 "notices", "acquire_ts", "excl_pages", "arrival_epoch")
+    __slots__ = ("proc", "owner", "lidx", "rows", "frames", "gen", "wgen",
+                 "dirty", "nle", "notices", "acquire_ts", "excl_pages",
+                 "arrival_epoch")
 
     def __init__(self, proc: Processor, owner: int, lidx: int,
-                 rows: list[list[int]], frames: dict[int, np.ndarray]) -> None:
+                 rows: list[list[int]], frames: dict[int, np.ndarray],
+                 gen: GenCounter, wgen: GenCounter) -> None:
         self.proc = proc
         self.owner = owner
         self.lidx = lidx
@@ -42,6 +44,13 @@ class ProcProtoState:
         self.rows = rows
         #: The owner's frame dict (page -> numpy array), shared.
         self.frames = frames
+        #: The owner's generation counters (shared with the page table and
+        #: frame store); the runtime's inline page-access cache validates
+        #: read mappings against ``gen`` and write mappings against
+        #: ``wgen``. Protocol code that mutates ``frames`` directly —
+        #: bypassing :class:`~repro.vm.page.FrameStore` — must bump both.
+        self.gen = gen
+        self.wgen = wgen
         #: Pages this processor wrote since its last release (dirty list).
         self.dirty: set[int] = set()
         #: No-longer-exclusive list, written by local peers.
@@ -85,10 +94,22 @@ class BaseProtocol:
         lock_model = None if lock_free else DirectoryLockModel(self.config)
         self.directory = GlobalDirectory(self.config, self.num_owners,
                                          lock_model=lock_model)
+        #: Per-owner generation counters: shared between each owner's page
+        #: table and frame-store slot, bumped on permission tightening
+        #: and frame map/unmap (``gens`` when a mapping dies outright,
+        #: ``wgens`` also on WRITE -> READ downgrades). The runtime's
+        #: inline page-access cache (software TLB) validates cached
+        #: (page -> frame) entries against them, so a cached mapping can
+        #: never outlive a revocation.
+        self.gens = [GenCounter() for _ in range(self.num_owners)]
+        self.wgens = [GenCounter() for _ in range(self.num_owners)]
         self.frames = FrameStore(self.num_owners, self.config.num_pages,
-                                 self.config.words_per_page)
-        self.tables = [PageTable(self.config.num_pages, self._procs_per_owner())
-                       for _ in range(self.num_owners)]
+                                 self.config.words_per_page, gens=self.gens,
+                                 wgens=self.wgens)
+        self.tables = [PageTable(self.config.num_pages,
+                                 self._procs_per_owner(), gen=self.gens[o],
+                                 wgen=self.wgens[o])
+                       for o in range(self.num_owners)]
         self.boards = [NoticeBoard(o, self.num_owners)
                        for o in range(self.num_owners)]
         self.requests = RequestEngine(cluster)
@@ -97,6 +118,10 @@ class BaseProtocol:
         #: First-touch relocation enabled after application initialization.
         self.first_touch_enabled = False
         self._relocated_superpages: set[int] = set()
+        #: 1 once a page's home can never change again (its superpage was
+        #: relocated, or its home was set by hand); lets the fault path
+        #: skip the relocation check with a single index.
+        self._home_settled = bytearray(self.config.num_pages)
         self._home_lock = SerialResource(name="home-selection-lock")
 
         self._ps: list[ProcProtoState] = []
@@ -105,7 +130,8 @@ class BaseProtocol:
             lidx = self._local_index(proc)
             self._ps.append(ProcProtoState(
                 proc, owner, lidx, self.tables[owner].rows,
-                self.frames.frames_of(owner)))
+                self.frames.frames_of(owner), self.gens[owner],
+                self.wgens[owner]))
 
     # --- owner-space geometry (subclass hooks) ------------------------------
 
@@ -169,7 +195,17 @@ class BaseProtocol:
 
     def load_range(self, proc: Processor, page: int, lo: int,
                    hi: int) -> np.ndarray:
-        """Read words [lo, hi) of one page (bulk access, one fault check)."""
+        """Read words [lo, hi) of one page (bulk access, one fault check).
+
+        .. warning:: **Returns a live view**, not a copy: the result is a
+           numpy slice of the owner's frame, and its contents change when
+           the protocol later updates that frame (incoming diffs,
+           flush-updates) or another local processor writes it. Callers
+           must consume the view immediately and must never mutate it or
+           hand it to application code.
+           :meth:`repro.runtime.env.WorkerEnv.get_block` is the copying
+           boundary: everything above the runtime receives a private copy.
+        """
         st = self._ps[proc.global_id]
         if st.rows[page][st.lidx] < Perm.READ:
             if self.trace is None:
@@ -283,15 +319,22 @@ class BaseProtocol:
         post-initialization toucher becomes the home. Requires the global
         home-selection lock — the only global lock in the protocol.
         """
+        if self._home_settled[page]:
+            return
         if not self.first_touch_enabled:
             return
         sp = self._superpage_of(page)
         if sp in self._relocated_superpages:
+            for p in self._superpage_pages_of(sp):
+                self._home_settled[p] = 1
             return
         entry = self.directory.entry(page)
         if not entry.home_is_default:
+            self._home_settled[page] = 1
             return
         self._relocated_superpages.add(sp)
+        for p in self._superpage_pages_of(sp):
+            self._home_settled[p] = 1
         st = self._ps[proc.global_id]
 
         # Global lock acquire/release (11 us plus any serialization).

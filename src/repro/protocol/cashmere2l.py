@@ -113,10 +113,12 @@ class Cashmere2L(BaseProtocol):
         self._fetch_if_stale(proc, st, page, ns)
 
         table = self.tables[st.owner]
+        # Granting READ can only change the node's loosest permission when
+        # it was INVALID before (READ < WRITE), so skip the re-scan.
         old_loosest = table.loosest(page)
         table.set_perm(page, st.lidx, Perm.READ)
-        if table.loosest(page) != old_loosest:
-            self._set_node_perm_word(proc, page, table.loosest(page))
+        if old_loosest < Perm.READ:
+            self._set_node_perm_word(proc, page, Perm.READ)
         proc.charge(costs.mprotect, "protocol")
 
     def write_fault(self, proc: Processor, st: ProcProtoState,
@@ -139,14 +141,18 @@ class Cashmere2L(BaseProtocol):
         self._fetch_if_stale(proc, st, page, ns)
 
         meta = ns.meta_for(page)
-        other_sharers = [o for o in entry.sharers() if o != st.owner]
+        has_other_sharer = False
+        for o, word in enumerate(entry.words):
+            if o != st.owner and word.perm >= Perm.READ:
+                has_other_sharer = True
+                break
         holder = entry.exclusive_holder()
-        can_go_exclusive = (not other_sharers and holder is None
+        can_go_exclusive = (not has_other_sharer and holder is None
                             and meta.twin is None
                             and not self.tables[st.owner].writers(page)
                             and not self._notices_pending(st.owner, page))
         if can_go_exclusive:
-            my_word.excl_holder = proc.global_id
+            entry.set_excl(st.owner, proc.global_id)
             my_word.perm = Perm.WRITE
             self._charge_dir_update(proc)
             proc.stats.bump("excl_transitions")
@@ -167,10 +173,12 @@ class Cashmere2L(BaseProtocol):
     def _map_write(self, proc: Processor, st: ProcProtoState, page: int,
                    charge_dir: bool = True) -> None:
         table = self.tables[st.owner]
+        # WRITE is the loosest permission, so after the grant the node's
+        # loosest is WRITE by construction; only the old value needs a scan.
         old_loosest = table.loosest(page)
         table.set_perm(page, st.lidx, Perm.WRITE)
-        if charge_dir and table.loosest(page) != old_loosest:
-            self._set_node_perm_word(proc, page, table.loosest(page))
+        if charge_dir and old_loosest != Perm.WRITE:
+            self._set_node_perm_word(proc, page, Perm.WRITE)
         proc.charge(self.costs.mprotect, "protocol")
 
     # ------------------------------------------------------------------ fetch
@@ -287,7 +295,7 @@ class Cashmere2L(BaseProtocol):
                                               category="excl_flush")
                 cost += self.config.page_copy_cost()
                 hns.meta_for(page).flush_end_real = visible
-            word.excl_holder = NO_HOLDER
+            entry.clear_excl(holder_owner)
             cost += self.directory.update_cost(server)
             server.stats.bump("directory_updates")
             server.stats.bump("excl_transitions")
@@ -357,7 +365,7 @@ class Cashmere2L(BaseProtocol):
 
         st.acquire_ts = ns.logical
 
-        for page in self._ps[proc.global_id].notices.drain():
+        for page in st.notices.drain():
             meta = ns.meta_for(page)
             if meta.update_ts < meta.wn_ts:
                 self._invalidate_mapping(proc, st, page)
@@ -384,6 +392,8 @@ class Cashmere2L(BaseProtocol):
         ns = self.node_state[st.owner]
         ns.tick()
         ns.last_release_ts = ns.logical
+        if not st.dirty and not st.nle.pages:
+            return
         pages = sorted(st.dirty | set(st.nle.take_all()))
         st.dirty.clear()
         for page in pages:
@@ -397,6 +407,8 @@ class Cashmere2L(BaseProtocol):
         ns.tick()
         ns.last_release_ts = ns.logical
         st.arrival_epoch += 1
+        if not st.dirty and not st.nle.pages:
+            return
         table = self.tables[st.owner]
         node = self.node_of_owner(st.owner)
         pages = sorted(st.dirty | set(st.nle.take_all()))
@@ -406,11 +418,13 @@ class Cashmere2L(BaseProtocol):
             # peers that have NOT yet arrived at this barrier episode (a
             # stale write mapping from an already-arrived peer — e.g. one
             # left over from exclusive mode — must not swallow the flush).
-            pending = [
-                w for w in table.writers(page)
-                if w != st.lidx
-                and self._ps[node.processors[w].global_id].arrival_epoch
-                < st.arrival_epoch]
+            pending = False
+            for w, p in enumerate(table.rows[page]):
+                if (p >= Perm.WRITE and w != st.lidx
+                        and self._ps[node.processors[w].global_id]
+                        .arrival_epoch < st.arrival_epoch):
+                    pending = True
+                    break
             if pending:
                 # A later-arriving writer's flush (diff against the shared
                 # twin) covers our changes too.

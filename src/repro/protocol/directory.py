@@ -36,7 +36,7 @@ from ..vm.page import Perm
 NO_HOLDER = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class DirWord:
     """One owner's view of a page (one 32-bit MC word)."""
 
@@ -44,13 +44,21 @@ class DirWord:
     excl_holder: int = NO_HOLDER  # global processor id, or NO_HOLDER
 
 
-@dataclass
+@dataclass(slots=True)
 class DirEntry:
     """A page's full directory entry: one word per owner plus home info."""
 
     words: list[DirWord]
     home_owner: int
     home_is_default: bool = True
+    #: Cached (owner, processor) of the current exclusive holder, kept in
+    #: lockstep with the per-word ``excl_holder`` fields by
+    #: :meth:`set_excl` / :meth:`clear_excl` — the fault path queries the
+    #: holder on every fault, and a word scan there costs more than the
+    #: whole rest of the lookup. Derived lazily from the words on first
+    #: use (``excl_known``), so entries built with pre-set words agree.
+    excl: "tuple[int, int] | None" = None
+    excl_known: bool = False
 
     def sharers(self) -> list[int]:
         """Owners whose loosest permission is READ or better."""
@@ -58,15 +66,38 @@ class DirEntry:
 
     def exclusive_holder(self) -> tuple[int, int] | None:
         """(owner, processor) currently holding the page exclusively."""
+        if not self.excl_known:
+            self._derive_excl()
+        return self.excl
+
+    def _derive_excl(self) -> None:
         holders = [(i, w.excl_holder) for i, w in enumerate(self.words)
                    if w.excl_holder != NO_HOLDER]
-        if not holders:
-            return None
         if len(holders) > 1:
             raise ProtocolError(
                 f"directory corrupt: exclusive holders on owners "
                 f"{[h[0] for h in holders]}")
-        return holders[0]
+        self.excl = holders[0] if holders else None
+        self.excl_known = True
+
+    def set_excl(self, owner: int, proc: int) -> None:
+        """Record ``proc`` (on ``owner``) as the exclusive holder."""
+        if not self.excl_known:
+            self._derive_excl()
+        if self.excl is not None and self.excl[0] != owner:
+            raise ProtocolError(
+                f"directory corrupt: exclusive holders on owners "
+                f"{[self.excl[0], owner]}")
+        self.words[owner].excl_holder = proc
+        self.excl = (owner, proc)
+
+    def clear_excl(self, owner: int) -> None:
+        """Drop ``owner``'s exclusive holding (no-op if not the holder)."""
+        if not self.excl_known:
+            self._derive_excl()
+        self.words[owner].excl_holder = NO_HOLDER
+        if self.excl is not None and self.excl[0] == owner:
+            self.excl = None
 
 
 class GlobalDirectory:
@@ -133,7 +164,7 @@ class DirectoryLockModel:
         return end - at
 
 
-@dataclass
+@dataclass(slots=True)
 class PageMeta:
     """Second-level (intra-node) directory state for one page (Section 2.3).
 

@@ -117,6 +117,8 @@ class OneLevelProtocol(BaseProtocol):
             pst = self._ps[peer.global_id]
             if pst.frames.get(page) is master:
                 del pst.frames[page]
+                pst.gen.value += 1  # direct unmap bypasses FrameStore
+                pst.wgen.value += 1
                 self.tables[pst.owner].set_perm(page, 0, Perm.INVALID)
 
     # ------------------------------------------------------------- page faults
@@ -133,6 +135,8 @@ class OneLevelProtocol(BaseProtocol):
                 and (page not in st.frames or self._uses_master(st, page))):
             self._break_if_exclusive_elsewhere(proc, st, page)
             st.frames[page] = self.masters[page]
+            st.gen.value += 1  # direct rebind bypasses FrameStore
+            st.wgen.value += 1
         else:
             # Read faults always fetch from the home node (Section 2.6).
             self._fetch(proc, st, page)
@@ -153,6 +157,8 @@ class OneLevelProtocol(BaseProtocol):
         if map_master:
             self._break_if_exclusive_elsewhere(proc, st, page)
             st.frames[page] = self.masters[page]
+            st.gen.value += 1  # direct rebind bypasses FrameStore
+            st.wgen.value += 1
         elif (page not in st.frames
               or self.tables[st.owner].perm(page, 0) == Perm.INVALID):
             # Write faults fetch the page if necessary.
@@ -267,7 +273,7 @@ class OneLevelProtocol(BaseProtocol):
             frame = self.masters[page]
             _, _visible = self.mc.transfer(at, page_bytes,
                                            category="excl_flush")
-            word.excl_holder = NO_HOLDER
+            entry.clear_excl(holder_owner)
             cost += self.directory.update_cost(server)
             server.stats.bump("directory_updates")
             server.stats.bump("excl_transitions")
@@ -386,7 +392,7 @@ class OneLevelProtocol(BaseProtocol):
             word = entry.words[st.owner]
             if (word.excl_holder == NO_HOLDER
                     and not self._notices_pending(st.owner, page)):
-                word.excl_holder = proc.global_id
+                entry.set_excl(st.owner, proc.global_id)
                 self._charge_dir_update(proc)
                 proc.stats.bump("excl_transitions")
                 st.excl_pages.add(page)

@@ -19,6 +19,12 @@ from collections import deque
 from dataclasses import dataclass, field
 
 
+#: Shared empty results for drains/collects with nothing queued (the
+#: common case). Callers only iterate the result, never mutate it.
+_EMPTY: list[int] = []
+_EMPTY_NOTICES: list["WriteNotice"] = []
+
+
 @dataclass(frozen=True)
 class WriteNotice:
     """Notification that ``page`` was modified by ``from_owner``."""
@@ -40,6 +46,7 @@ class NoticeBoard:
         self.bins: list[deque[WriteNotice]] = [deque()
                                                for _ in range(num_owners)]
         self.posted = 0
+        self._consumed = 0
 
     def post(self, from_owner: int, page: int, visible_at: float) -> None:
         """Append a notice to ``from_owner``'s bin (a remote MC write)."""
@@ -51,10 +58,13 @@ class NoticeBoard:
 
     def collect(self, upto: float) -> list[WriteNotice]:
         """Consume every notice visible by time ``upto`` (bin order)."""
+        if self._consumed == self.posted:
+            return _EMPTY_NOTICES
         found: list[WriteNotice] = []
         for bin_ in self.bins:
             while bin_ and bin_[0].visible_at <= upto:
                 found.append(bin_.popleft())
+        self._consumed += len(found)
         return found
 
     def pending(self) -> int:
@@ -84,6 +94,8 @@ class PerProcNotices:
         return True
 
     def drain(self) -> list[int]:
+        if not self._queue:
+            return _EMPTY
         pages = list(self._queue)
         self._queue.clear()
         self._bitmap.clear()
@@ -108,6 +120,8 @@ class NLEList:
         self.pages.add(page)
 
     def take_all(self) -> list[int]:
+        if not self.pages:
+            return _EMPTY
         pages = sorted(self.pages)
         self.pages.clear()
         return pages

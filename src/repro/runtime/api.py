@@ -13,6 +13,7 @@ earns its keep.
 from __future__ import annotations
 
 import contextlib
+import os
 from dataclasses import dataclass
 
 from ..config import MachineConfig
@@ -85,6 +86,22 @@ def tracing():
 def tracing_enabled(config: MachineConfig) -> bool:
     """Should a runtime built with ``config`` attach an event tracer?"""
     return bool(config.tracing or _tracing_depth)
+
+
+def fastpath_enabled(config: MachineConfig) -> bool:
+    """Should worker environments use the inline page-access cache?
+
+    ``MachineConfig.fastpath`` (default True) opts in; the
+    ``CASHMERE_NO_FASTPATH`` environment variable force-disables it for a
+    whole process without touching configs — the determinism regression
+    tests diff fast-path runs against runs forced down the slow path this
+    way. The fast path is also suppressed per-runtime whenever the
+    correctness checker is attached (it needs per-word access events);
+    that decision happens in :class:`~repro.runtime.env.WorkerEnv`.
+    """
+    if os.environ.get("CASHMERE_NO_FASTPATH"):
+        return False
+    return bool(config.fastpath)
 
 
 @dataclass(frozen=True)

@@ -48,6 +48,128 @@ class WorkerEnv:
         #: studies and by the calibration tooling.
         self._cscale = float(runtime.params.get("_compute_scale", 1.0))
 
+        # --- inline page-access cache (software TLB) ---------------------
+        # Cached (page -> frame) entries for recently read and recently
+        # written pages, validated against the owner's generation
+        # counters: every permission *tightening* and frame map/unmap
+        # bumps them (loosening cannot invalidate a mapping and stays
+        # silent), and a stale cache is flushed wholesale before the
+        # access retries through full protocol dispatch. Warm accesses in
+        # the dispatch path charge nothing and mutate no protocol state,
+        # so skipping it is byte-identical — the paper's in-line check,
+        # minus the check.
+        proto = runtime.protocol
+        st = proto.proc_state(proc)
+        self._frames = st.frames
+        #: Read mappings validate against the owner's read generation,
+        #: write mappings against the write generation (which also bumps
+        #: on WRITE -> READ downgrades, e.g. at barrier-arrival flushes).
+        self._gen = st.gen
+        self._wgencnt = st.wgen
+        fast = getattr(runtime, "fastpath", True) and proto.tracer is None
+        #: Read cache: off when the correctness checker is attached (it
+        #: must observe every per-word access).
+        self._fast_read = fast
+        #: Write cache: additionally off under write-through (1L), whose
+        #: ``store`` must keep doubling every write to the master copy.
+        self._fast_write = fast and not getattr(proto, "write_through",
+                                                False)
+        #: Generation snapshots, held in one-element lists so the
+        #: closure-compiled warm paths below and the cold-path refill
+        #: helpers share one mutable cell.
+        self._rsnap = [-1]
+        self._rcache: dict[int, np.ndarray] = {}
+        self._wsnap = [-1]
+        #: The write cache holds *memoryviews* of the frames: a
+        #: memoryview slice/scalar store is several times cheaper than
+        #: the equivalent ndarray ``__setitem__`` (no ufunc dispatch),
+        #: and writes never need ndarray semantics on the destination.
+        self._wcache: dict[int, memoryview] = {}
+        self._build_fastpaths()
+
+    def _build_fastpaths(self) -> None:
+        """Compile the warm access paths as closures.
+
+        The warm paths run for almost every access of a well-behaved
+        application; binding every invariant (page geometry, caches,
+        generation counters) into closure cells replaces a chain of
+        ``self`` attribute loads per call with fast local loads. Each
+        closure handles exactly the warm case and falls back to the
+        general method on the instance class for everything else, so
+        behaviour is identical to the uncached path.
+        """
+        shift = self._shift
+        mask = self._mask
+        rcache = self._rcache
+        wcache = self._wcache
+        rgen = self._gen
+        wgen = self._wgencnt
+        rsnap = self._rsnap
+        wsnap = self._wsnap
+        cold_get = self._get_cold
+        cold_set = self._set_cold
+        slow_get_block = self.get_block
+        slow_set_block = self.set_block
+
+        def get(arr: SharedArray, i: int) -> float:
+            w = arr.base + i
+            page = w >> shift
+            if rsnap[0] == rgen.value:
+                frame = rcache.get(page)
+                if frame is not None:
+                    return frame[w & mask]
+            return cold_get(page, w & mask)
+
+        def set_(arr: SharedArray, i: int, value: float) -> None:
+            w = arr.base + i
+            page = w >> shift
+            if wsnap[0] == wgen.value:
+                mv = wcache.get(page)
+                if mv is not None:
+                    mv[w & mask] = value
+                    return
+            cold_set(page, w & mask, value)
+
+        def get_block(arr: SharedArray, lo: int, hi: int) -> np.ndarray:
+            base = arr.base
+            w0 = base + lo
+            w1 = base + hi
+            if w0 < w1 and rsnap[0] == rgen.value:
+                page = w0 >> shift
+                if (w1 - 1) >> shift == page:
+                    frame = rcache.get(page)
+                    if frame is not None:
+                        off = w0 & mask
+                        return frame[off:off + (w1 - w0)].copy()
+            return slow_get_block(arr, lo, hi)
+
+        def set_block(arr: SharedArray, lo: int,
+                      values: np.ndarray) -> None:
+            w = arr.base + lo
+            end = w + len(values)
+            if w < end and wsnap[0] == wgen.value:
+                page = w >> shift
+                if (end - 1) >> shift == page:
+                    mv = wcache.get(page)
+                    if mv is not None:
+                        off = w & mask
+                        try:
+                            mv[off:off + (end - w)] = values
+                        except (ValueError, TypeError):
+                            # Non-float64 source: cast like ndarray
+                            # assignment would, then retry.
+                            mv[off:off + (end - w)] = np.ascontiguousarray(
+                                values, dtype=np.float64)
+                        return
+            slow_set_block(arr, lo, values)
+
+        # Shadow the class methods on the instance; the class methods stay
+        # as the (identical) general fallbacks.
+        self.get = get
+        self.set = set_
+        self.get_block = get_block
+        self.set_block = set_block
+
     # --- identity ------------------------------------------------------------
 
     @property
@@ -69,21 +191,67 @@ class WorkerEnv:
 
     def get(self, arr: SharedArray, i: int) -> float:
         w = arr.base + i
-        return self._protocol.load(self.proc, w >> self._shift,
-                                   w & self._mask)
+        page = w >> self._shift
+        if self._rsnap[0] == self._gen.value:
+            frame = self._rcache.get(page)
+            if frame is not None:
+                return frame[w & self._mask]
+        return self._get_cold(page, w & self._mask)
+
+    def _get_cold(self, page: int, off: int) -> float:
+        value = self._protocol.load(self.proc, page, off)
+        if self._fast_read:
+            gen = self._gen.value
+            if self._rsnap[0] != gen:
+                self._rcache.clear()
+                self._rsnap[0] = gen
+            frame = self._frames.get(page)
+            if frame is not None:
+                self._rcache[page] = frame
+        return value
 
     def set(self, arr: SharedArray, i: int, value: float) -> None:
         w = arr.base + i
-        self._protocol.store(self.proc, w >> self._shift,
-                             w & self._mask, value)
+        page = w >> self._shift
+        if self._wsnap[0] == self._wgencnt.value:
+            mv = self._wcache.get(page)
+            if mv is not None:
+                mv[w & self._mask] = value
+                return
+        self._set_cold(page, w & self._mask, value)
+
+    def _set_cold(self, page: int, off: int, value: float) -> None:
+        self._protocol.store(self.proc, page, off, value)
+        if self._fast_write:
+            gen = self._wgencnt.value
+            if self._wsnap[0] != gen:
+                self._wcache.clear()
+                self._wsnap[0] = gen
+            frame = self._frames.get(page)
+            if frame is not None:
+                self._wcache[page] = memoryview(frame)
 
     # --- block access ------------------------------------------------------------
 
     def get_block(self, arr: SharedArray, lo: int, hi: int) -> np.ndarray:
-        """Copy of words [lo, hi) of the array (page faults as needed)."""
+        """Copy of words [lo, hi) of the array (page faults as needed).
+
+        Always returns a private copy: the protocol's ``load_range``
+        yields a live view of the owner's frame, and this method is the
+        copying boundary that keeps application code from aliasing it.
+        """
         base = arr.base
         w0, w1 = base + lo, base + hi
         shift, mask = self._shift, self._mask
+        warm = self._rsnap[0] == self._gen.value
+        cache = self._rcache
+        if w0 < w1 and warm:
+            page = w0 >> shift
+            if (w1 - 1) >> shift == page:
+                frame = cache.get(page)
+                if frame is not None:
+                    off = w0 & mask
+                    return frame[off:off + (w1 - w0)].copy()
         wpp = mask + 1
         out = np.empty(hi - lo, dtype=np.float64)
         pos = 0
@@ -92,11 +260,29 @@ class WorkerEnv:
             page = w >> shift
             off = w & mask
             take = min(wpp - off, w1 - w)
-            out[pos:pos + take] = self._protocol.load_range(
-                self.proc, page, off, off + take)
+            frame = cache.get(page) if warm else None
+            if frame is not None:
+                out[pos:pos + take] = frame[off:off + take]
+            else:
+                out[pos:pos + take] = self._read_through(page, off,
+                                                         off + take)
+                warm = self._rsnap[0] == self._gen.value
             pos += take
             w += take
         return out
+
+    def _read_through(self, page: int, lo: int, hi: int) -> np.ndarray:
+        """Cold block read: full dispatch, then refill the read cache."""
+        values = self._protocol.load_range(self.proc, page, lo, hi)
+        if self._fast_read:
+            gen = self._gen.value
+            if self._rsnap[0] != gen:
+                self._rcache.clear()
+                self._rsnap[0] = gen
+            frame = self._frames.get(page)
+            if frame is not None:
+                self._rcache[page] = frame
+        return values
 
     def set_block(self, arr: SharedArray, lo: int,
                   values: np.ndarray) -> None:
@@ -105,16 +291,52 @@ class WorkerEnv:
         w = base + lo
         end = w + len(values)
         shift, mask = self._shift, self._mask
+        warm = self._wsnap[0] == self._wgencnt.value
+        cache = self._wcache
+        if w < end and warm:
+            page = w >> shift
+            if (end - 1) >> shift == page:
+                mv = cache.get(page)
+                if mv is not None:
+                    off = w & mask
+                    self._mv_store(mv, off, end - w, values)
+                    return
         wpp = mask + 1
         pos = 0
         while w < end:
             page = w >> shift
             off = w & mask
             take = min(wpp - off, end - w)
-            self._protocol.store_range(self.proc, page, off,
-                                       values[pos:pos + take])
+            mv = cache.get(page) if warm else None
+            if mv is not None:
+                self._mv_store(mv, off, take, values[pos:pos + take])
+            else:
+                self._write_through(page, off, values[pos:pos + take])
+                warm = self._wsnap[0] == self._wgencnt.value
             pos += take
             w += take
+
+    @staticmethod
+    def _mv_store(mv: memoryview, off: int, n: int,
+                  values: np.ndarray) -> None:
+        """Store into a cached frame memoryview, casting when needed."""
+        try:
+            mv[off:off + n] = values
+        except (ValueError, TypeError):
+            mv[off:off + n] = np.ascontiguousarray(values, dtype=np.float64)
+
+    def _write_through(self, page: int, lo: int,
+                       values: np.ndarray) -> None:
+        """Cold block write: full dispatch, then refill the write cache."""
+        self._protocol.store_range(self.proc, page, lo, values)
+        if self._fast_write:
+            gen = self._wgencnt.value
+            if self._wsnap[0] != gen:
+                self._wcache.clear()
+                self._wsnap[0] = gen
+            frame = self._frames.get(page)
+            if frame is not None:
+                self._wcache[page] = memoryview(frame)
 
     # --- time ---------------------------------------------------------------------
 

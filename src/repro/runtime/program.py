@@ -25,7 +25,8 @@ from ..protocol import make_protocol
 from ..stats.counters import RunStats
 from ..sync import Barrier, FlagSet, MCLock
 from ..trace import Tracer, attach_tracer
-from .api import SharedSegment, checking_enabled, tracing_enabled
+from .api import (SharedSegment, checking_enabled, fastpath_enabled,
+                  tracing_enabled)
 from .env import WorkerEnv
 from .sequential import run_sequential
 from ..sim.process import ProcessGroup
@@ -66,6 +67,11 @@ class ParallelRuntime:
         self.trace: Tracer | None = None
         if tracing_enabled(self.config):
             self.trace = attach_tracer(self.cluster, self.protocol)
+        #: Inline page-access cache switch, consulted by WorkerEnv. Both
+        #: the checker and the tracer are attached above, *before* run()
+        #: builds the worker environments, so each WorkerEnv sees the
+        #: final observer configuration when it decides on the fast path.
+        self.fastpath = fastpath_enabled(self.config)
         self.segment = SharedSegment(self.config)
         app.declare(self.segment, params)
         self.barrier = Barrier(self.cluster, self.protocol)

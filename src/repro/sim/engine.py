@@ -61,17 +61,32 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        queue = self._queue  # stable list object; hoisted for the hot loop
+        heappop = heapq.heappop
         try:
+            if until is None:
+                # Unbounded run (the overwhelmingly common case): no
+                # per-event deadline check.
+                while True:
+                    if not queue:
+                        if self.idle_check is not None:
+                            self.idle_check()
+                        if not queue:
+                            break
+                    at, _, fn = heappop(queue)
+                    self.now = at
+                    fn()
+                return self.now
             while True:
-                if not self._queue:
+                if not queue:
                     if self.idle_check is not None:
                         self.idle_check()
-                    if not self._queue:
+                    if not queue:
                         break
-                at, _, fn = self._queue[0]
-                if until is not None and at > until:
+                at, _, fn = queue[0]
+                if at > until:
                     break
-                heapq.heappop(self._queue)
+                heappop(queue)
                 self.now = at
                 fn()
             return self.now
@@ -95,15 +110,19 @@ class Condition:
     def __init__(self, sim: Simulator, name: str = "") -> None:
         self._sim = sim
         self.name = name
-        self._waiters: list[tuple[float, Callable[[float], None]]] = []
+        # Waiter -> park-time clock. A dict preserves insertion order (so
+        # fire wakes waiters in park order, same as a list would) and
+        # makes unpark O(1) — with n processors parked on one condition,
+        # a fire triggers n unparks, and list scans made that O(n^2).
+        self._waiters: dict[Callable[[float], None], float] = {}
 
     def park(self, clock: float, wake: Callable[[float], None]) -> None:
         """Register a waiter whose local clock is ``clock``."""
-        self._waiters.append((clock, wake))
+        self._waiters[wake] = clock
 
     def unpark(self, wake: Callable[[float], None]) -> None:
         """Remove a parked waiter (e.g. when it is woken via another path)."""
-        self._waiters = [(c, w) for (c, w) in self._waiters if w is not wake]
+        self._waiters.pop(wake, None)
 
     def fire(self, at: float) -> None:
         """Wake all current waiters at time ``max(at, waiter clock)``.
@@ -113,7 +132,7 @@ class Condition:
         second fire racing with the wake events would find it empty and
         the re-parking waiters would sleep forever (lost wakeup).
         """
-        for clock, wake in list(self._waiters):
+        for wake, clock in list(self._waiters.items()):
             when = max(at, clock)
             self._sim.schedule(max(when, self._sim.now),
                                _bind_wake(wake, when))
@@ -167,6 +186,25 @@ class SerialResource:
         if duration == 0:
             return start, start
         iv = self._intervals
+        # Fast path: booking after (or touching) the end of the timeline —
+        # the overwhelmingly common case when clocks advance monotonically.
+        if not iv or iv[-1][1] <= start:
+            if iv and iv[-1][1] == start:
+                iv[-1][1] = start + duration
+            else:
+                iv.append([start, start + duration])
+                if len(iv) > 4096:
+                    del iv[:2048]  # prune ancient history
+            return start, start + duration
+        last = iv[-1]
+        if last[0] <= start:
+            # Start lands inside the final interval: the earliest gap at
+            # or after ``start`` begins exactly at its end — extend it in
+            # place. This is the common case under saturation (every
+            # processor queues behind the tail) and skips the bisect.
+            begin = last[1]
+            last[1] = begin + duration
+            return begin, begin + duration
         # Find the first interval that could overlap [start, ...).
         lo = bisect.bisect_right(iv, [start]) - 1
         if lo >= 0 and iv[lo][1] <= start:
@@ -251,10 +289,15 @@ class MultiChannelResource:
         if duration == 0:
             return start, start
         # Cheap heuristic: probe each channel's earliest end by peeking at
-        # its timeline without committing, then book the winner. With two
-        # channels this is exact enough and stays O(log n).
-        best = min(self._channels,
-                   key=lambda c: c.peek(start, duration))
+        # its timeline without committing, then book the winner (ties go
+        # to the lowest-numbered channel, matching min()'s stability).
+        # With two channels this is exact enough and stays O(log n).
+        best = None
+        best_end = 0.0
+        for c in self._channels:
+            end = c.peek(start, duration)
+            if best is None or end < best_end:
+                best, best_end = c, end
         return best.acquire(start, duration)
 
 

@@ -31,6 +31,7 @@ blocks via ``Wait``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappush
 from typing import Any, Callable, Generator, Iterable, Sequence
 
 from ..errors import DeadlockError, SimulationError
@@ -138,17 +139,23 @@ class SimProcess:
         # One stable bound-method object: park/unpark match by identity,
         # and ``self._wake`` would create a fresh object on every access.
         self._wake_cb = self._wake
+        # Prebound plain-resume callback: scheduled after every Compute/
+        # Charge/Sleep, so avoid allocating a fresh closure each time.
+        self._resume_cb = self._resume
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
-        self.sim.schedule(self.ctx.clock, lambda: self._step(None))
+        self.sim.schedule(self.ctx.clock, self._resume_cb)
 
     @property
     def parked(self) -> bool:
         return bool(self._parked_on)
 
     # -- stepping ----------------------------------------------------------
+
+    def _resume(self) -> None:
+        self._step(None)
 
     def _step(self, send_value: Any) -> None:
         """Resume the generator, then dispatch its next instruction."""
@@ -169,15 +176,27 @@ class SimProcess:
         self._dispatch(instr)
 
     def _dispatch(self, instr: Any) -> None:
-        if isinstance(instr, Compute):
+        # The resume push is Simulator.schedule inlined: _dispatch runs at
+        # the processor's own event, so ctx.clock >= sim.now always holds
+        # and the past-check / max() are dead weight on the hottest path.
+        # (``type is`` first: Compute dominates, and the exact-type check
+        # is cheaper than isinstance; subclasses still hit the
+        # isinstance chain below.)
+        if type(instr) is Compute or isinstance(instr, Compute):
             self.ctx.run_compute(instr.cpu_us, instr.mem_bytes)
-            self.sim.schedule(self.ctx.clock, lambda: self._step(None))
+            sim = self.sim
+            sim._seq += 1
+            heappush(sim._queue, (self.ctx.clock, sim._seq, self._resume_cb))
         elif isinstance(instr, Charge):
             self.ctx.charge(instr.us, instr.bucket)
-            self.sim.schedule(self.ctx.clock, lambda: self._step(None))
+            sim = self.sim
+            sim._seq += 1
+            heappush(sim._queue, (self.ctx.clock, sim._seq, self._resume_cb))
         elif isinstance(instr, Sleep):
             self.ctx.charge(instr.us, instr.bucket)
-            self.sim.schedule(self.ctx.clock, lambda: self._step(None))
+            sim = self.sim
+            sim._seq += 1
+            heappush(sim._queue, (self.ctx.clock, sim._seq, self._resume_cb))
         elif isinstance(instr, Wait):
             self._begin_wait(instr)
         else:
@@ -206,9 +225,6 @@ class SimProcess:
     def _wake(self, at: float) -> None:
         if self.done or self._wait is None:
             return
-        for cond in self._parked_on:
-            cond.unpark(self._wake_cb)
-        self._parked_on = ()
         wait = self._wait
         if at > self.ctx.clock:
             self.ctx.charge(at - self.ctx.clock, wait.bucket)
@@ -218,17 +234,25 @@ class SimProcess:
             self.ctx.clock = max(self.ctx.clock, at)
         self.ctx.service_requests()
         value = wait.predicate()
-        if value:
-            self._wait = None
-            trace = self.ctx.trace
-            if trace is not None:
-                conds = ",".join(c.name or "?" for c in wait.conditions)
-                trace.span("wait", self.ctx, self._wait_since,
-                           self.ctx.clock - self._wait_since, obj=conds,
-                           bucket=wait.bucket)
-            self._step(value)
-        else:
-            self._begin_wait(wait)
+        if not value:
+            # Spurious wakeup: stay parked. Conditions keep waiters
+            # registered until an explicit unpark, so the next fire still
+            # reaches us — no unpark/re-park churn per predicate miss.
+            # (The stored park clock may now lag ``ctx.clock``; a fire
+            # uses it only to *lower-bound* the wake time, and a wake at
+            # ``at <= clock`` charges nothing, so timing is unaffected.)
+            return
+        for cond in self._parked_on:
+            cond.unpark(self._wake_cb)
+        self._parked_on = ()
+        self._wait = None
+        trace = self.ctx.trace
+        if trace is not None:
+            conds = ",".join(c.name or "?" for c in wait.conditions)
+            trace.span("wait", self.ctx, self._wait_since,
+                       self.ctx.clock - self._wait_since, obj=conds,
+                       bucket=wait.bucket)
+        self._step(value)
 
     def _finish(self, result: Any) -> None:
         self.done = True

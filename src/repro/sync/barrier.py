@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cluster.machine import Cluster, Processor
+from ..sim.engine import Condition
 from ..sim.process import Wait
 
 
@@ -27,6 +28,28 @@ from ..sim.process import Wait
 class _NodeBarrierState:
     episode: int = 0
     arrived: int = 0
+
+
+class _EpisodeState:
+    """Departure bookkeeping for one in-flight barrier episode.
+
+    Every announcing Memory Channel write is posted with a known
+    visibility time, so the instant the *last* announcement of an episode
+    is posted, the episode's departure time is simply the max of those
+    visibility times. Waiters park on a per-episode condition fired once
+    at exactly that instant, instead of being spuriously woken by every
+    arrival write — the wake time, and therefore every ``comm_wait``
+    charge, is identical to spinning on the arrival array (the increments
+    all land in the same bucket), but the event count per barrier drops
+    from O(slots x waiters) to one per waiter.
+    """
+
+    __slots__ = ("cond", "visible_at", "announced")
+
+    def __init__(self, cond: Condition) -> None:
+        self.cond = cond
+        self.visible_at = 0.0
+        self.announced = 0
 
 
 class Barrier:
@@ -43,8 +66,45 @@ class Barrier:
             "barrier", slots, initial=0, loopback=True,
             connections=cluster.config.nodes)
         self._node_state = [_NodeBarrierState() for _ in cluster.nodes]
+        #: In-flight episode departures (target episode -> state); an
+        #: entry is dropped when its departure fire executes, which is
+        #: safe because no processor can still park for an episode whose
+        #: departure time has passed (its predicate would be true).
+        self._episodes_pending: dict[int, _EpisodeState] = {}
+        #: Highest episode whose departure fire has executed.
+        self._completed_through = 0
         #: Completed barrier episodes (the Table 3 "Barriers" row).
         self.episodes = 0
+
+    def _episode(self, target: int) -> _EpisodeState:
+        ep = self._episodes_pending.get(target)
+        if ep is None:
+            ep = _EpisodeState(Condition(self.cluster.sim,
+                                         name=f"barrier-ep{target}"))
+            if target > self._completed_through:
+                self._episodes_pending[target] = ep
+            # else: throwaway — the episode already departed; the caller's
+            # predicate falls back to ``_completed_through`` and never parks.
+        return ep
+
+    def _note_announcement(self, target: int, slot: int) -> None:
+        """Record one announcing MC write for ``target``; on the last one,
+        schedule the single departure fire at the max visibility time."""
+        ep = self._episode(target)
+        visible = self.region.words[slot].last_visible_at()
+        if visible > ep.visible_at:
+            ep.visible_at = visible
+        ep.announced += 1
+        if ep.announced == self.slots:
+            sim = self.cluster.sim
+
+            def depart() -> None:
+                self._episodes_pending.pop(target, None)
+                if target > self._completed_through:
+                    self._completed_through = target
+                ep.cond.fire(ep.visible_at)
+
+            sim.schedule(max(ep.visible_at, sim.now), depart)
 
     def wait(self, proc: Processor):
         """Generator: arrive, flush, announce, spin for departure, acquire."""
@@ -75,6 +135,7 @@ class Barrier:
                 proc.charge(costs.barrier_mc_phase, "protocol")
                 mc.write_word(self.region, proc.node.id, target, proc.clock,
                               category="sync")
+                self._note_announcement(target, proc.node.id)
                 if proc.node.id == 0:
                     self.episodes = target
         else:
@@ -83,6 +144,7 @@ class Barrier:
             proc.charge(costs.barrier_mc_phase, "protocol")
             mc.write_word(self.region, slot, target, proc.clock,
                           category="sync")
+            self._note_announcement(target, slot)
             if slot == 0:
                 self.episodes = target
 
@@ -92,16 +154,22 @@ class Barrier:
         if trace is not None:
             trace.instant("barrier_arrive", proc, proc.clock, obj=target)
 
-        region = self.region
         nslots = self.slots
+        ep = self._episode(target)
 
-        def all_arrived() -> bool:
-            clock = proc.clock
-            return all(region.read(i, clock) >= target
-                       for i in range(nslots))
+        def departed() -> bool:
+            # Equivalent to scanning the arrival array: every slot shows
+            # ``target`` exactly when all announcements are posted *and*
+            # visible by this processor's clock (same epsilon as
+            # VersionedWord.read). The fallback covers a processor whose
+            # captured state is a throwaway because the departure fire
+            # already ran — the episode is then over by construction.
+            if ep.announced == nslots:
+                return proc.clock + 1e-6 >= ep.visible_at
+            return target <= self._completed_through
 
-        if not all_arrived():
-            yield Wait(region.visible, all_arrived, bucket="comm_wait")
+        if not departed():
+            yield Wait(ep.cond, departed, bucket="comm_wait")
         # Departure-side spinning on the arrival array (waiters rescan it
         # as arrivals trickle in; scales with the number of slots).
         proc.charge(costs.barrier_spin * nslots, "protocol")

@@ -9,28 +9,62 @@ own owner with a single-column table. Permission changes model
 
 from __future__ import annotations
 
-from .page import Perm
+from .page import GenCounter, Perm
 
 
 class PageTable:
     """Permissions for one owner: ``perm(page, proc)`` for local processors."""
 
-    def __init__(self, num_pages: int, procs: int) -> None:
+    def __init__(self, num_pages: int, procs: int,
+                 gen: GenCounter | None = None,
+                 wgen: GenCounter | None = None) -> None:
         self.num_pages = num_pages
         self.procs = procs
         # One row per page; rows are plain lists for cheap fast-path access.
         self.rows: list[list[int]] = [[Perm.INVALID] * procs
                                       for _ in range(num_pages)]
+        #: Generation counters shared with this owner's frame-store slot,
+        #: bumped on permission *tightening* (and, via the frame store, on
+        #: every frame rebind) so the runtime's inline page-access cache
+        #: can validate cached mappings. ``gen`` guards read mappings and
+        #: bumps only when a mapping dies outright (-> INVALID); ``wgen``
+        #: guards write mappings and additionally bumps on WRITE -> READ
+        #: downgrades. Loosening is deliberately silent on both: granting
+        #: rights cannot invalidate a cached mapping.
+        self.gen = gen if gen is not None else GenCounter()
+        self.wgen = wgen if wgen is not None else GenCounter()
 
-    def perm(self, page: int, proc: int) -> Perm:
-        return Perm(self.rows[page][proc])
+    def perm(self, page: int, proc: int) -> int:
+        """Current permission as a plain int (a :class:`Perm` value).
+
+        Returned as ``int`` rather than ``Perm`` — this sits on the
+        protocol fast path and the enum construction costs more than the
+        lookup; ``Perm`` is an ``IntEnum`` so comparisons work either way.
+        """
+        return self.rows[page][proc]
 
     def set_perm(self, page: int, proc: int, perm: Perm) -> None:
-        self.rows[page][proc] = int(perm)
+        row = self.rows[page]
+        value = int(perm)
+        old = row[proc]
+        if value != old:
+            row[proc] = value
+            if value < old:
+                # Only *tightening* invalidates the inline page-access
+                # cache: a cached (page -> frame) entry embodies rights
+                # already granted, and granting a peer (or this
+                # processor) more rights cannot make it stale. A drop to
+                # INVALID kills read and write mappings alike; a
+                # WRITE -> READ downgrade leaves read mappings intact.
+                # Frame rebinds bump separately (FrameStore).
+                self.wgen.value += 1
+                if value < Perm.READ:
+                    self.gen.value += 1
 
-    def loosest(self, page: int) -> Perm:
-        """The loosest permission any local processor holds (directory rule)."""
-        return Perm(max(self.rows[page]))
+    def loosest(self, page: int) -> int:
+        """The loosest permission any local processor holds (directory
+        rule), as a plain int (see :meth:`perm`)."""
+        return max(self.rows[page])
 
     def procs_with(self, page: int, at_least: Perm) -> list[int]:
         return [i for i, p in enumerate(self.rows[page]) if p >= at_least]
@@ -49,6 +83,10 @@ class PageTable:
             if p >= Perm.WRITE:
                 row[i] = int(to)
                 affected.append(i)
+        if affected:
+            self.wgen.value += 1
+            if to < Perm.READ:
+                self.gen.value += 1
         return affected
 
     def invalidate_all(self, page: int) -> list[int]:
@@ -56,4 +94,7 @@ class PageTable:
         affected = [i for i, p in enumerate(row) if p > Perm.INVALID]
         for i in affected:
             row[i] = int(Perm.INVALID)
+        if affected:
+            self.gen.value += 1
+            self.wgen.value += 1
         return affected

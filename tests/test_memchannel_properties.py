@@ -11,6 +11,8 @@ from repro.memchannel.regions import VersionedWord
 from repro.runtime.program import ParallelRuntime
 from repro.apps import make_app
 
+pytestmark = pytest.mark.heavy  # long hypothesis suite
+
 
 @settings(max_examples=200, deadline=None)
 @given(st.lists(st.tuples(st.integers(1, 1000), st.integers(0, 99)),

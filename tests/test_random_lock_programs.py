@@ -22,6 +22,8 @@ from repro.protocol import make_protocol
 from repro.sim.process import Compute, ProcessGroup
 from repro.sync import Barrier, MCLock
 
+pytestmark = pytest.mark.heavy  # long hypothesis suite
+
 N_PROCS = 4
 N_LOCKS = 3
 N_COUNTERS = 6

@@ -30,6 +30,8 @@ from repro.protocol import make_protocol
 from repro.sim.process import Compute, ProcessGroup
 from repro.sync import Barrier
 
+pytestmark = pytest.mark.heavy  # long hypothesis suite
+
 N_PROCS = 4
 N_WORDS = 4 * 64  # 4 pages of 64 words
 

@@ -1,9 +1,13 @@
 """Property-based tests for the interval-timeline resources."""
 
+import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.engine import MultiChannelResource, SerialResource
+
+pytestmark = pytest.mark.heavy  # long hypothesis suite
 
 bookings = st.lists(
     st.tuples(st.floats(min_value=0, max_value=1000),
