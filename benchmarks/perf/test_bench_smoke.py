@@ -16,7 +16,8 @@ from repro.experiments.bench import (ACCESS_REGRESSION_FACTOR, BenchReport,
 
 _BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
 
-EXPECTED = {"access", "fault_storm", "barrier", "sor32", "water32"}
+EXPECTED = {"access", "fault_storm", "barrier", "sor32", "water32",
+            "sweep_serial", "sweep_parallel", "sweep_warm"}
 
 
 def test_quick_bench_report_shape():
@@ -30,6 +31,11 @@ def test_quick_bench_report_shape():
     for full in ("sor32", "water32"):
         assert data["benchmarks"][full]["sim_us"] > 0
         assert data["benchmarks"][full]["sim_us_per_wall_s"] > 0
+    # The cache-warm sweep ran zero simulations (all cells cached) and
+    # is far cheaper than the cold serial sweep.
+    assert data["benchmarks"]["sweep_warm"]["executed"] == 0
+    assert data["benchmarks"]["sweep_warm"]["wall_s"] < \
+        0.5 * data["benchmarks"]["sweep_serial"]["wall_s"]
     # Baseline loaded and compared.
     assert data["baseline"]["schema"] == "cashmere-bench-1"
     assert set(data["speedup_vs_baseline"]) <= EXPECTED
@@ -46,4 +52,17 @@ def test_regression_gate_fires_on_synthetic_baseline():
         results=[BenchResult("access", wall_s=0.1, reps=1)],
         baseline={"benchmarks": {
             "access": {"wall_s": 0.1 / ACCESS_REGRESSION_FACTOR * 2.0}}})
+    assert healthy.check_regression() is None
+
+
+def test_sweep_warm_gate_fires_when_cache_not_serving():
+    stale = BenchReport(results=[
+        BenchResult("sweep_serial", wall_s=1.0, reps=1),
+        BenchResult("sweep_warm", wall_s=0.9, reps=3)])
+    message = stale.check_regression()
+    assert message is not None and "cache" in message
+
+    healthy = BenchReport(results=[
+        BenchResult("sweep_serial", wall_s=1.0, reps=1),
+        BenchResult("sweep_warm", wall_s=0.01, reps=3)])
     assert healthy.check_regression() is None

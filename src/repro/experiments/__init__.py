@@ -13,6 +13,8 @@ from .lockfree import LockFreeResults, run_lockfree_ablation
 from .polling import PollingResults, run_polling_ablation
 from .sensitivity import SensitivityResults, run_sensitivity
 from .shootdown import ShootdownResults, run_shootdown_ablation
+from .sweep import (CellResult, ResultCache, RunSpec, Sweep, SweepStats,
+                    execute_cell, run_cells)
 from .table1 import PAPER_TABLE1, Table1Results, run_table1
 from .table2 import Table2Row, format_table2, run_table2
 from .table3 import Table3Results, run_table3
@@ -27,4 +29,6 @@ __all__ = [
     "Figure7Results", "ShootdownResults", "LockFreeResults",
     "SensitivityResults", "PollingResults",
     "format_table2", "PAPER_TABLE1",
+    "RunSpec", "CellResult", "ResultCache", "Sweep", "SweepStats",
+    "run_cells", "execute_cell",
 ]

@@ -18,6 +18,12 @@ runs:
     Full 32-processor (8 nodes x 4) runs under 2L with default problem
     sizes; also reports simulated-us per wall-second (simulator
     throughput).
+``sweep_serial`` / ``sweep_parallel`` / ``sweep_warm``
+    The sweep engine (:mod:`repro.experiments.sweep`) over a
+    figure7-style grid of cells: cold serial, cold on a process pool
+    (``jobs = min(4, cores)`` — recorded in the report; no speedup is
+    expected on a single-core host), and cache-warm (every cell served
+    from a pre-populated content-addressed cache, zero simulations).
 
 Methodology: each benchmark is run ``reps`` times after one untimed
 warmup with the garbage collector disabled around the timed region, and
@@ -32,8 +38,10 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from dataclasses import dataclass, field
 
@@ -64,6 +72,8 @@ class BenchResult:
     wall_s: float               # best rep
     reps: int
     sim_us: float | None = None  # simulated time, for full runs
+    #: Free-form provenance (e.g. the sweep benches record jobs/cells).
+    extra: dict | None = None
 
     @property
     def sim_us_per_wall_s(self) -> float | None:
@@ -94,6 +104,8 @@ class BenchReport:
             if r.sim_us is not None:
                 entry["sim_us"] = r.sim_us
                 entry["sim_us_per_wall_s"] = r.sim_us_per_wall_s
+            if r.extra:
+                entry.update(r.extra)
             benchmarks[r.name] = entry
         out = {
             "schema": SCHEMA,
@@ -122,9 +134,12 @@ class BenchReport:
                  "--------------------------------------------"]
         base_benches = (self.baseline or {}).get("benchmarks", {})
         for r in self.results:
-            line = f"{r.name:12s} {r.wall_s * 1e3:9.1f} ms"
+            line = f"{r.name:14s} {r.wall_s * 1e3:9.1f} ms"
             if r.sim_us is not None:
                 line += f"  ({r.sim_us_per_wall_s / 1e6:6.2f} sim-s/wall-s)"
+            if r.extra:
+                line += "  (" + ", ".join(
+                    f"{k}={v}" for k, v in r.extra.items()) + ")"
             base = base_benches.get(r.name, {}).get("wall_s")
             if base and r.wall_s > 0:
                 line += f"  [{base / r.wall_s:4.2f}x vs baseline]"
@@ -133,6 +148,18 @@ class BenchReport:
 
     def check_regression(self) -> str | None:
         """CI gate: None when healthy, else a failure message."""
+        # Host-independent sweep-cache gate: a cache-warm sweep executes
+        # zero simulations, so it must beat the cold serial sweep by a
+        # wide margin on any machine. 2x is deliberately loose (the real
+        # ratio is >10x); tripping it means the cache is not serving.
+        warm = self.result("sweep_warm")
+        serial = self.result("sweep_serial")
+        if warm is not None and serial is not None and \
+                warm.wall_s >= 0.5 * serial.wall_s:
+            return (f"sweep cache-warm run not faster than cold serial: "
+                    f"{warm.wall_s:.4f}s warm vs {serial.wall_s:.4f}s "
+                    f"serial (expected < 0.5x) — result cache is not "
+                    f"serving hits")
         if self.baseline is None:
             return None
         access = self.result("access")
@@ -246,6 +273,57 @@ def _full_run(app_name: str, small: bool = False) -> float:
     return result.exec_time_us
 
 
+def _sweep_specs(quick: bool) -> list:
+    """A figure7-style grid of independent cells for the sweep benches."""
+    from .configs import experiment_config
+    from .sweep import RunSpec
+    apps = ("SOR", "Em3d") if quick else ("SOR", "Em3d", "Barnes", "Water")
+    protocols = ("2L", "1LD") if quick else ("2L", "2LS", "1LD", "1L")
+    placements = ("4:1", "8:4") if quick else ("4:1", "8:4", "32:4")
+    return [RunSpec.app_run(a, p, experiment_config(pl))
+            for a in apps for p in protocols for pl in placements]
+
+
+def bench_sweep(quick: bool = False) -> list[BenchResult]:
+    """Serial vs process-pool vs cache-warm wall clock over one grid.
+
+    The cold passes are timed once (re-running them cold would mean
+    re-simulating the whole grid per rep); the warm pass is best-of-3
+    since cache hits are cheap. The pool size is recorded in ``extra``
+    — on a single-core host the parallel pass degenerates to serial and
+    shows no speedup, by design.
+    """
+    from .sweep import ResultCache, Sweep, run_cells
+    specs = _sweep_specs(quick)
+    jobs = min(4, os.cpu_count() or 1)
+    extra = {"cells": len(specs), "cores": os.cpu_count() or 1}
+    results = []
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        run_cells(specs, Sweep(jobs=1))
+        results.append(BenchResult("sweep_serial",
+                                   time.perf_counter() - t0, 1,
+                                   extra=dict(extra, jobs=1)))
+        t0 = time.perf_counter()
+        run_cells(specs, Sweep(jobs=jobs))
+        results.append(BenchResult("sweep_parallel",
+                                   time.perf_counter() - t0, 1,
+                                   extra=dict(extra, jobs=jobs)))
+    finally:
+        gc.enable()
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(root=tmp)
+        run_cells(specs, Sweep(jobs=1, cache=cache))  # populate
+        warm = Sweep(jobs=1, cache=cache)
+        wall = _best_of(lambda: run_cells(specs, warm), 3)
+        results.append(BenchResult(
+            "sweep_warm", wall, 3,
+            extra=dict(extra, jobs=1, executed=warm.stats.executed)))
+    return results
+
+
 # --- driver -------------------------------------------------------------------
 
 
@@ -301,5 +379,8 @@ def run_bench(quick: bool = False, baseline_path: str | None = None,
         wat_us[0] = _full_run("Water", small=quick)
     report.results.append(BenchResult(
         "water32", _best_of(water_run, reps), reps, sim_us=wat_us[0]))
+
+    note("sweep")
+    report.results.extend(bench_sweep(quick))
 
     return report

@@ -11,11 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..apps import make_app
-from ..runtime.program import run_app
 from ..sim.process import TIME_BUCKETS
 from ..stats.report import format_table
-from .configs import APP_ORDER, FULL_PLATFORM, PROTOCOL_ORDER, bench_params
+from .configs import APP_ORDER, FULL_PLATFORM, PROTOCOL_ORDER
+from .sweep import RunSpec, run_cells
 
 BUCKET_LABELS = {
     "user": "User",
@@ -51,23 +50,22 @@ class Figure6Results:
 
 def run_figure6(apps: tuple[str, ...] = APP_ORDER,
                 protocols: tuple[str, ...] = PROTOCOL_ORDER,
-                config=None) -> Figure6Results:
+                config=None, sweep=None) -> Figure6Results:
     config = config or FULL_PLATFORM
+    specs = [RunSpec.app_run(app_name, protocol, config)
+             for app_name in apps for protocol in protocols]
+    cells = iter(run_cells(specs, sweep))
     results = Figure6Results()
     for app_name in apps:
-        runs = {}
-        for protocol in protocols:
-            app = make_app(app_name)
-            runs[protocol] = run_app(app, bench_params(app), config,
-                                     protocol)
-        base = runs[protocols[0]].stats.aggregate.total_time
+        runs = {protocol: next(cells) for protocol in protocols}
+        base = runs[protocols[0]].total_time
         results.breakdown[app_name] = {}
         results.exec_time_s[app_name] = {}
-        for protocol, run in runs.items():
-            buckets = run.stats.aggregate.buckets
+        for protocol, cell in runs.items():
             results.breakdown[app_name][protocol] = {
-                b: 100.0 * buckets[b] / base for b in TIME_BUCKETS}
-            results.exec_time_s[app_name][protocol] = run.stats.exec_time_s
+                b: 100.0 * cell.buckets[b] / base for b in TIME_BUCKETS}
+            results.exec_time_s[app_name][protocol] = \
+                cell.exec_time_us / 1e6
     return results
 
 

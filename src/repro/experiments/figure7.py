@@ -12,12 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..apps import make_app
-from ..runtime.program import run_app
-from ..runtime.sequential import run_sequential
 from ..stats.report import format_table
 from .configs import (APP_ORDER, FULL_PLATFORM, PLACEMENT_ORDER,
-                      PROTOCOL_ORDER, bench_params, experiment_config)
+                      PROTOCOL_ORDER, experiment_config)
+from .sweep import RunSpec, run_cells
 
 
 @dataclass
@@ -43,30 +41,39 @@ class Figure7Results:
         return "\n\n".join(sections)
 
 
+def _variants(protocols: tuple[str, ...],
+              home_opt: bool) -> list[tuple[str, str, bool]]:
+    variants: list[tuple[str, str, bool]] = [
+        (p, p, False) for p in protocols]
+    if home_opt:
+        variants += [(f"{p}+HO", p, True)
+                     for p in protocols if p in ("1LD", "1L")]
+    return variants
+
+
 def run_figure7(apps: tuple[str, ...] = APP_ORDER,
                 protocols: tuple[str, ...] = PROTOCOL_ORDER,
                 placements: tuple[str, ...] = PLACEMENT_ORDER,
-                home_opt: bool = True) -> Figure7Results:
+                home_opt: bool = True, sweep=None) -> Figure7Results:
+    variants = _variants(protocols, home_opt)
+    specs = []
+    for app_name in apps:
+        specs.append(RunSpec.seq_run(app_name, FULL_PLATFORM))
+        for label, protocol, ho in variants:
+            for placement in placements:
+                specs.append(RunSpec.app_run(
+                    app_name, protocol, experiment_config(placement),
+                    home_opt=ho))
+    cells = iter(run_cells(specs, sweep))
     results = Figure7Results()
     for app_name in apps:
-        app = make_app(app_name)
-        params = bench_params(app)
-        _, seq_us = run_sequential(app, params, FULL_PLATFORM)
+        seq_us = next(cells).exec_time_us
         results.seq_time_s[app_name] = seq_us / 1e6
         per_proto: dict[str, dict[str, float]] = {}
-        variants: list[tuple[str, str, bool]] = [
-            (p, p, False) for p in protocols]
-        if home_opt:
-            variants += [(f"{p}+HO", p, True)
-                         for p in protocols if p in ("1LD", "1L")]
         for label, protocol, ho in variants:
-            per_place = {}
-            for placement in placements:
-                cfg = experiment_config(placement)
-                run = run_app(make_app(app_name), params, cfg, protocol,
-                              home_opt=ho)
-                per_place[placement] = seq_us / run.exec_time_us
-            per_proto[label] = per_place
+            per_proto[label] = {
+                placement: seq_us / next(cells).exec_time_us
+                for placement in placements}
         results.speedup[app_name] = per_proto
     return results
 

@@ -15,10 +15,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..apps import make_app
-from ..runtime.program import run_app
 from ..stats.report import format_table, pct_change
-from .configs import FULL_PLATFORM, bench_params
+from .configs import FULL_PLATFORM
+from .sweep import RunSpec, run_cells
 
 
 @dataclass
@@ -50,22 +49,25 @@ class LockFreeResults:
 
 def run_lockfree_ablation(
         apps: tuple[str, ...] = ("Barnes", "Em3d", "Ilink", "Water",
-                                 "SOR")) -> LockFreeResults:
+                                 "SOR"), sweep=None) -> LockFreeResults:
     results = LockFreeResults()
+    specs = []
     for app_name in apps:
-        params = bench_params(make_app(app_name))
-        free = run_app(make_app(app_name), params, FULL_PLATFORM, "2L",
-                       lock_free=True)
-        locked = run_app(make_app(app_name), params, FULL_PLATFORM, "2L",
-                         lock_free=False)
+        specs.append(RunSpec.app_run(app_name, "2L", FULL_PLATFORM,
+                                     lock_free=True))
+        specs.append(RunSpec.app_run(app_name, "2L", FULL_PLATFORM,
+                                     lock_free=False))
+    cells = iter(run_cells(specs, sweep))
+    for app_name in apps:
+        free, locked = next(cells), next(cells)
         results.exec_time_s[app_name] = {
-            "lock_free": free.stats.exec_time_s,
-            "locked": locked.stats.exec_time_s,
+            "lock_free": free.table3["exec_time_s"],
+            "locked": locked.table3["exec_time_s"],
         }
-        results.dir_updates[app_name] = free.stats.counter(
-            "directory_updates")
-        results.write_notices[app_name] = free.stats.counter(
-            "write_notices")
+        results.dir_updates[app_name] = int(
+            free.table3["directory_updates"])
+        results.write_notices[app_name] = int(
+            free.table3["write_notices"])
     return results
 
 

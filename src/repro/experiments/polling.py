@@ -16,10 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from ..apps import make_app
-from ..runtime.program import run_app
 from ..stats.report import format_table, pct_change
-from .configs import FULL_PLATFORM, bench_params
+from .configs import FULL_PLATFORM
+from .sweep import RunSpec, run_cells
 
 
 @dataclass
@@ -46,7 +45,7 @@ class PollingResults:
 
 def run_polling_ablation(
         apps: tuple[str, ...] = ("Em3d", "Barnes", "Gauss"),
-        include_slow: bool = True) -> PollingResults:
+        include_slow: bool = True, sweep=None) -> PollingResults:
     results = PollingResults()
     configs = {
         "polling": FULL_PLATFORM,
@@ -55,12 +54,13 @@ def run_polling_ablation(
     if include_slow:
         configs["slow-intr"] = replace(FULL_PLATFORM, polling=False,
                                        fast_interrupts=False)
+    specs = [RunSpec.app_run(app_name, "2L", cfg)
+             for app_name in apps for cfg in configs.values()]
+    cells = iter(run_cells(specs, sweep))
     for app_name in apps:
-        params = bench_params(make_app(app_name))
         results.exec_time_s[app_name] = {
-            variant: run_app(make_app(app_name), params, cfg,
-                             "2L").stats.exec_time_s
-            for variant, cfg in configs.items()}
+            variant: next(cells).table3["exec_time_s"]
+            for variant in configs}
     return results
 
 

@@ -15,11 +15,23 @@ Usage (installed as ``cashmere-repro``)::
     cashmere-repro bench   [--quick] [--json [BENCH_run.json]]
                            [--baseline benchmarks/perf/baseline.json]
 
+Every table/figure/ablation experiment runs through the sweep engine
+(:mod:`repro.experiments.sweep`): ``-j/--jobs N`` (or ``CASHMERE_JOBS``)
+fans independent simulation cells out over a process pool, and results
+are memoized in a content-addressed on-disk cache (``.cashmere-cache/``
+or ``$CASHMERE_CACHE_DIR``; any source change invalidates it).
+``--no-cache`` disables the cache entirely; ``--refresh`` re-executes
+every cell and rewrites its entries. Parallel and cache-served output is
+byte-identical to a serial cold run. Per-experiment wall-clock and a
+cache hit/miss summary go to stderr.
+
 ``--quick`` restricts Figure 7 to three placements (4:1, 8:4, 32:4) and
 shrinks the bench suite's reps and problem sizes.
 ``--json`` prints machine-readable results instead of monospace tables
-(not applicable to ``trace``, whose output is already JSON). For
-``bench``, ``--json PATH`` writes the report to ``PATH`` instead.
+(not applicable to ``trace``, whose output is already JSON); for
+``all``, the documents are collected into one JSON *array* so the
+output is a single valid JSON value. For ``bench``, ``--json PATH``
+writes the report to ``PATH`` instead.
 
 ``bench`` measures the simulator's *wall-clock* performance (every other
 experiment reports simulated time); with ``--baseline`` it exits nonzero
@@ -48,6 +60,7 @@ from .polling import run_polling_ablation
 from .sensitivity import run_sensitivity
 from .shootdown import run_shootdown_ablation
 from .bench import run_bench
+from .sweep import ResultCache, Sweep
 from .table1 import run_table1
 from .table2 import format_table2, run_table2
 from .table3 import run_table3
@@ -69,10 +82,16 @@ def _jsonable(result):
     return result
 
 
-def _emit(experiment: str, result, formatted: str, as_json: bool) -> None:
+def _emit(experiment: str, result, formatted: str, as_json: bool,
+          json_docs: list | None = None) -> None:
     if as_json:
-        print(json.dumps({"experiment": experiment,
-                          "data": _jsonable(result)}, indent=2))
+        doc = {"experiment": experiment, "data": _jsonable(result)}
+        if json_docs is None:
+            print(json.dumps(doc, indent=2))
+        else:
+            # `all --json`: collect and emit one valid JSON array at the
+            # end instead of a concatenation of separate documents.
+            json_docs.append(doc)
     else:
         print(formatted)
 
@@ -106,6 +125,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="bench only: committed baseline JSON to "
                              "compare against (exits nonzero if the "
                              "access microbenchmark regressed > 2x)")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        metavar="N",
+                        help="run independent simulation cells on N "
+                             "worker processes (default: serial, or "
+                             "$CASHMERE_JOBS); output is byte-identical "
+                             "to a serial run")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache (neither "
+                             "read nor written)")
+    parser.add_argument("--refresh", action="store_true",
+                        help="re-execute every cell and rewrite its "
+                             "cache entries (ignore existing ones)")
     args = parser.parse_args(argv)
 
     start = time.time()
@@ -149,38 +180,63 @@ def main(argv: list[str] | None = None) -> int:
     todo = [args.experiment] if args.experiment != "all" else [
         "table1", "table2", "table3", "figure6", "figure7", "shootdown",
         "lockfree", "sensitivity", "polling"]
+    # One sweep for the whole invocation: `all` shares the cache and the
+    # hit/miss counters across experiments (the Table 2 and Figure 7
+    # sequential baselines are literally the same cells, for instance).
+    sweep = Sweep(jobs=args.jobs,
+                  cache=None if args.no_cache else ResultCache(
+                      mode="refresh" if args.refresh else "on"))
+    json_docs: list | None = [] if args.as_json and len(todo) > 1 else None
     for experiment in todo:
+        exp_start = time.time()
         if experiment == "table1":
-            result = run_table1()
-            _emit(experiment, result, result.format(), args.as_json)
+            result = run_table1(sweep=sweep)
+            _emit(experiment, result, result.format(), args.as_json,
+                  json_docs)
         elif experiment == "table2":
-            rows = run_table2(apps)
-            _emit(experiment, rows, format_table2(rows), args.as_json)
+            rows = run_table2(apps, sweep=sweep)
+            _emit(experiment, rows, format_table2(rows), args.as_json,
+                  json_docs)
         elif experiment == "table3":
-            result = run_table3(apps=apps)
-            _emit(experiment, result, result.format(), args.as_json)
+            result = run_table3(apps=apps, sweep=sweep)
+            _emit(experiment, result, result.format(), args.as_json,
+                  json_docs)
         elif experiment == "figure6":
-            result = run_figure6(apps=apps)
-            _emit(experiment, result, result.format(), args.as_json)
+            result = run_figure6(apps=apps, sweep=sweep)
+            _emit(experiment, result, result.format(), args.as_json,
+                  json_docs)
         elif experiment == "figure7":
-            result = run_figure7(apps=apps, placements=placements)
-            _emit(experiment, result, result.format(), args.as_json)
+            result = run_figure7(apps=apps, placements=placements,
+                                 sweep=sweep)
+            _emit(experiment, result, result.format(), args.as_json,
+                  json_docs)
         elif experiment == "shootdown":
-            result = run_shootdown_ablation()
-            _emit(experiment, result, result.format(), args.as_json)
+            result = run_shootdown_ablation(sweep=sweep)
+            _emit(experiment, result, result.format(), args.as_json,
+                  json_docs)
         elif experiment == "lockfree":
-            result = run_lockfree_ablation()
-            _emit(experiment, result, result.format(), args.as_json)
+            result = run_lockfree_ablation(sweep=sweep)
+            _emit(experiment, result, result.format(), args.as_json,
+                  json_docs)
         elif experiment == "polling":
             result = run_polling_ablation(
-                apps=("Em3d", "Barnes", "Gauss") if not args.apps else apps)
-            _emit(experiment, result, result.format(), args.as_json)
+                apps=("Em3d", "Barnes", "Gauss") if not args.apps else apps,
+                sweep=sweep)
+            _emit(experiment, result, result.format(), args.as_json,
+                  json_docs)
         elif experiment == "sensitivity":
             result = run_sensitivity(apps=("Em3d",) if not args.apps
-                                     else apps)
-            _emit(experiment, result, result.format(), args.as_json)
+                                     else apps, sweep=sweep)
+            _emit(experiment, result, result.format(), args.as_json,
+                  json_docs)
         if not args.as_json:
             print()
+        print(f"[{experiment}: {time.time() - exp_start:.1f}s]",
+              file=sys.stderr)
+    if json_docs is not None:
+        print(json.dumps(json_docs, indent=2))
+    print(f"[{sweep.stats.summary(sweep.cache is not None)}]",
+          file=sys.stderr)
     print(f"[{time.time() - start:.1f}s wall clock]", file=sys.stderr)
     return 0
 

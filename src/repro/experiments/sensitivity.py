@@ -19,10 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..apps import make_app
-from ..runtime.program import run_app
 from ..stats.report import format_table
 from .configs import FULL_PLATFORM
+from .sweep import RunSpec, run_cells
 
 DEFAULT_SCALES = (0.25, 1.0, 4.0)
 
@@ -50,19 +49,19 @@ class SensitivityResults:
 
 def run_sensitivity(apps: tuple[str, ...] = ("Em3d",),
                     scales: tuple[float, ...] = DEFAULT_SCALES,
-                    config=None) -> SensitivityResults:
+                    config=None, sweep=None) -> SensitivityResults:
     config = config or FULL_PLATFORM
+    protocols = ("2L", "1LD", "1L")
+    specs = [RunSpec.app_run(app_name, protocol, config,
+                             params={"_compute_scale": scale})
+             for app_name in apps for scale in scales
+             for protocol in protocols]
+    cells = iter(run_cells(specs, sweep))
     results = SensitivityResults()
     for app_name in apps:
         results.ratio[app_name] = {}
         for scale in scales:
-            times = {}
-            for protocol in ("2L", "1LD", "1L"):
-                app = make_app(app_name)
-                params = app.default_params()
-                params["_compute_scale"] = scale
-                times[protocol] = run_app(app, params, config,
-                                          protocol).exec_time_us
+            times = {p: next(cells).exec_time_us for p in protocols}
             results.ratio[app_name][scale] = {
                 p: times[p] / times["2L"] for p in times}
     return results

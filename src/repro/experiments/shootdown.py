@@ -17,10 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from ..apps import make_app
-from ..runtime.program import run_app
 from ..stats.report import format_table, pct_change
-from .configs import FULL_PLATFORM, bench_params
+from .configs import FULL_PLATFORM
+from .sweep import RunSpec, run_cells
 
 
 @dataclass
@@ -50,22 +49,22 @@ class ShootdownResults:
 
 
 def run_shootdown_ablation(
-        apps: tuple[str, ...] = ("Water", "SOR", "Em3d")) -> ShootdownResults:
+        apps: tuple[str, ...] = ("Water", "SOR", "Em3d"),
+        sweep=None) -> ShootdownResults:
     results = ShootdownResults()
     interrupt_cfg = replace(FULL_PLATFORM, polling=False)
+    variants = (("2L", "2L", FULL_PLATFORM),
+                ("2LS-poll", "2LS", FULL_PLATFORM),
+                ("2LS-intr", "2LS", interrupt_cfg))
+    specs = [RunSpec.app_run(app_name, protocol, cfg)
+             for app_name in apps for _, protocol, cfg in variants]
+    cells = iter(run_cells(specs, sweep))
     for app_name in apps:
-        params = bench_params(make_app(app_name))
-        runs = {
-            "2L": run_app(make_app(app_name), params, FULL_PLATFORM, "2L"),
-            "2LS-poll": run_app(make_app(app_name), params, FULL_PLATFORM,
-                                "2LS"),
-            "2LS-intr": run_app(make_app(app_name), params, interrupt_cfg,
-                                "2LS"),
-        }
+        runs = {label: next(cells) for label, _, _ in variants}
         results.exec_time_s[app_name] = {
-            k: r.stats.exec_time_s for k, r in runs.items()}
+            k: c.table3["exec_time_s"] for k, c in runs.items()}
         results.shootdowns[app_name] = {
-            k: r.stats.counter("shootdowns") for k, r in runs.items()}
+            k: int(c.table3["shootdowns"]) for k, c in runs.items()}
     return results
 
 

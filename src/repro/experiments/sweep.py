@@ -1,0 +1,357 @@
+"""Parallel sweep engine: declarative experiment cells, a process pool,
+and a content-addressed result cache.
+
+The paper's evaluation is an embarrassingly parallel grid: every table
+and figure is assembled from *independent* simulations (one per
+application x protocol x placement x config-override cell). This module
+turns that structure into a first-class object:
+
+* :class:`RunSpec` — one cell, described declaratively (application,
+  protocol, canonicalized :class:`~repro.config.MachineConfig`,
+  parameter overrides, protocol variant flags). Specs are frozen,
+  hashable, and picklable; :func:`execute_cell` is a *pure function*
+  ``RunSpec -> CellResult``.
+* :func:`run_cells` — executes a list of specs, serially by default or
+  on a :class:`concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``
+  (``--jobs N`` on the CLI, or the ``CASHMERE_JOBS`` environment
+  variable). Results are merged back **in spec order**, so parallel
+  output is byte-identical to serial output by construction.
+* :class:`ResultCache` — an on-disk content-addressed memo table
+  (default ``.cashmere-cache/``, overridable via ``CASHMERE_CACHE_DIR``).
+  The key hashes the RunSpec together with the package version and a
+  digest of every ``src/repro`` source file, so *any* code change
+  invalidates every entry; the value is the pickled
+  :class:`CellResult`. Because the simulator is fully deterministic
+  (asserted by the fast-path and tracing determinism suites), a cache
+  hit is bit-exact with a re-execution.
+
+Fan-out is sound for the same reason memoization is: a cell's outcome
+depends only on its spec and the source tree, never on what other cells
+ran before it in the same process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from .. import __version__
+from ..apps import make_app
+from ..config import CostModel, MachineConfig
+from ..runtime.api import SharedSegment
+from ..runtime.program import run_app
+from ..runtime.sequential import run_sequential
+
+#: Bump when the CellResult layout or the key derivation changes.
+CACHE_SCHEMA = "cashmere-sweep-1"
+
+#: Default on-disk cache location (relative to the working directory),
+#: unless ``CASHMERE_CACHE_DIR`` says otherwise.
+DEFAULT_CACHE_DIR = ".cashmere-cache"
+
+
+# --- RunSpec ------------------------------------------------------------------
+
+
+def config_key(config: MachineConfig) -> tuple:
+    """Canonical, hashable encoding of a :class:`MachineConfig`.
+
+    Every field (including the nested cost model) is flattened into
+    sorted-by-declaration ``(name, value)`` tuples of plain scalars, so
+    two configs compare equal iff every simulated cost and geometry
+    parameter is equal — exactly the cache-correctness condition.
+    """
+    items = []
+    for f in dataclasses.fields(MachineConfig):
+        value = getattr(config, f.name)
+        if f.name == "costs":
+            value = tuple((cf.name, getattr(value, cf.name))
+                          for cf in dataclasses.fields(CostModel))
+        items.append((f.name, value))
+    return tuple(items)
+
+
+def config_from_key(key: tuple) -> MachineConfig:
+    """Rebuild the :class:`MachineConfig` a :func:`config_key` encodes."""
+    kwargs = dict(key)
+    kwargs["costs"] = CostModel(**dict(kwargs["costs"]))
+    return MachineConfig(**kwargs)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One experiment cell, fully described by value.
+
+    ``kind`` selects the worker: ``"app"`` runs the application under a
+    protocol (:func:`~repro.runtime.program.run_app`), ``"seq"`` runs the
+    uninstrumented sequential baseline, and ``"table1"`` runs the basic
+    operation micro-measurements (no application). ``params`` holds only
+    *overrides* on the application's ``default_params()`` — defaults live
+    in source, which the cache key digests.
+    """
+
+    kind: str = "app"
+    app: str = ""
+    protocol: str = "2L"
+    config: tuple = ()
+    params: tuple = ()
+    lock_free: bool = True
+    home_opt: bool = False
+
+    @classmethod
+    def app_run(cls, app: str, protocol: str, config: MachineConfig, *,
+                params: dict | None = None, lock_free: bool = True,
+                home_opt: bool = False) -> "RunSpec":
+        return cls(kind="app", app=app, protocol=protocol,
+                   config=config_key(config),
+                   params=tuple(sorted((params or {}).items())),
+                   lock_free=lock_free, home_opt=home_opt)
+
+    @classmethod
+    def seq_run(cls, app: str, config: MachineConfig, *,
+                params: dict | None = None) -> "RunSpec":
+        return cls(kind="seq", app=app, protocol="",
+                   config=config_key(config),
+                   params=tuple(sorted((params or {}).items())))
+
+    @classmethod
+    def table1_run(cls) -> "RunSpec":
+        return cls(kind="table1", app="", protocol="")
+
+
+@dataclass
+class CellResult:
+    """What one cell produces: everything any table/figure reads.
+
+    Kept deliberately small and de-normalized (plain dicts of floats)
+    so it pickles cheaply across the process pool and into the cache.
+    """
+
+    exec_time_us: float = 0.0
+    #: Table 3 row (also carries the counters the ablations read).
+    table3: dict | None = None
+    #: Aggregate Figure-6 time buckets and their sum.
+    buckets: dict | None = None
+    total_time: float | None = None
+    #: Sequential cells: shared-segment footprint (Table 2).
+    shared_kbytes: float | None = None
+    #: ``table1`` cells: the full Table1Results object.
+    payload: object | None = None
+
+
+def execute_cell(spec: RunSpec) -> CellResult:
+    """Pure worker: run one cell. Safe to call in any process."""
+    if spec.kind == "table1":
+        from .table1 import _measure_table1
+        return CellResult(payload=_measure_table1())
+    config = config_from_key(spec.config)
+    app = make_app(spec.app)
+    params = app.default_params()
+    params.update(dict(spec.params))
+    if spec.kind == "seq":
+        _, seq_us = run_sequential(app, params, config)
+        seg = SharedSegment(config)
+        app.declare(seg, params)
+        return CellResult(exec_time_us=seq_us,
+                          shared_kbytes=seg.words_used * 8 / 1024)
+    if spec.kind != "app":
+        raise ValueError(f"unknown RunSpec kind {spec.kind!r}")
+    run = run_app(app, params, config, spec.protocol,
+                  lock_free=spec.lock_free, home_opt=spec.home_opt)
+    stats = run.stats
+    return CellResult(exec_time_us=stats.exec_time_us,
+                      table3=stats.table3_row(),
+                      buckets=dict(stats.aggregate.buckets),
+                      total_time=stats.aggregate.total_time)
+
+
+# --- content-addressed cache --------------------------------------------------
+
+#: Process-wide memo of the source-tree digest (hashing ~100 files once
+#: per process is cheap; once per cell lookup would not be).
+_source_digest: str | None = None
+
+
+def source_digest() -> str:
+    """SHA-256 over every ``.py`` file under ``src/repro``, in sorted
+    relative-path order. Any source change — a cost constant, a protocol
+    fix, an application kernel tweak — changes the digest and therefore
+    every cache key."""
+    global _source_digest
+    if _source_digest is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        h = hashlib.sha256()
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                h.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    h.update(fh.read())
+        _source_digest = h.hexdigest()
+    return _source_digest
+
+
+def cache_key(spec: RunSpec) -> str:
+    """Content address of a cell: schema + version + sources + spec."""
+    raw = repr((CACHE_SCHEMA, __version__, source_digest(), spec))
+    return hashlib.sha256(raw.encode()).hexdigest()
+
+
+class ResultCache:
+    """Pickled :class:`CellResult` objects keyed by :func:`cache_key`.
+
+    Layout: ``<root>/<key[:2]>/<key>.pkl`` (two-level fan-out keeps
+    directories small). ``mode`` is ``"on"`` (read and write, the
+    default), or ``"refresh"`` (never read, always write — the
+    ``--refresh`` escape hatch; ``--no-cache`` simply passes no cache at
+    all). Writes are atomic (temp file + rename), so concurrent sweeps
+    sharing a cache directory can only ever observe complete entries.
+    """
+
+    def __init__(self, root: str | None = None, mode: str = "on") -> None:
+        if mode not in ("on", "refresh"):
+            raise ValueError(f"unknown cache mode {mode!r}")
+        self.root = root or os.environ.get("CASHMERE_CACHE_DIR") \
+            or DEFAULT_CACHE_DIR
+        self.mode = mode
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def get(self, spec: RunSpec) -> CellResult | None:
+        if self.mode == "refresh":
+            return None
+        try:
+            with open(self.path(cache_key(spec)), "rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA:
+            return None
+        result = entry.get("result")
+        return result if isinstance(result, CellResult) else None
+
+    def put(self, spec: RunSpec, result: CellResult) -> None:
+        path = self.path(cache_key(spec))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump({"schema": CACHE_SCHEMA, "spec": spec,
+                             "result": result}, fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+# --- the sweep driver ---------------------------------------------------------
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Effective worker count: explicit ``jobs`` wins, then the
+    ``CASHMERE_JOBS`` environment variable, then 1 (serial — tests and
+    CI are deterministic by construction, parallelism is opt-in)."""
+    if jobs is None:
+        env = os.environ.get("CASHMERE_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"CASHMERE_JOBS={env!r} is not an integer") from None
+    return max(1, jobs or 1)
+
+
+@dataclass
+class SweepStats:
+    """Hit/miss/execution counters, accumulated across experiments."""
+
+    hits: int = 0
+    misses: int = 0
+    executed: int = 0
+
+    @property
+    def cells(self) -> int:
+        return self.hits + self.executed
+
+    def summary(self, cache_enabled: bool = True) -> str:
+        if not cache_enabled:
+            return (f"cache disabled; {self.executed} simulations "
+                    f"executed")
+        return (f"cache: {self.hits} hits, {self.misses} misses; "
+                f"{self.executed} simulations executed")
+
+
+@dataclass
+class Sweep:
+    """How to execute cells: parallelism plus an optional result cache.
+
+    The library default (``Sweep()``) is serial with no cache, so direct
+    calls to ``run_table3()`` and friends behave exactly as before —
+    except that ``CASHMERE_JOBS`` can still fan them out. The CLI
+    constructs one Sweep per invocation with the cache enabled, shared
+    across every experiment of an ``all`` run so common cells (e.g. the
+    sequential baselines used by both Table 2 and Figure 7) execute
+    once.
+    """
+
+    jobs: int | None = None
+    cache: ResultCache | None = None
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def run(self, specs: list[RunSpec]) -> list[CellResult]:
+        return run_cells(specs, self)
+
+
+def run_cells(specs: list[RunSpec], sweep: Sweep | None = None) \
+        -> list[CellResult]:
+    """Execute every spec; returns results in spec order.
+
+    Cache hits are filled in first; the misses run serially or on a
+    process pool. The merge is positional, so for a fixed spec list the
+    output — and everything assembled from it — is identical no matter
+    how many workers ran or which cells were cached.
+    """
+    sweep = sweep if sweep is not None else Sweep()
+    results: list[CellResult | None] = [None] * len(specs)
+    pending: list[int] = []
+    for i, spec in enumerate(specs):
+        cached = sweep.cache.get(spec) if sweep.cache else None
+        if cached is not None:
+            results[i] = cached
+            sweep.stats.hits += 1
+        else:
+            pending.append(i)
+            if sweep.cache:
+                sweep.stats.misses += 1
+    jobs = resolve_jobs(sweep.jobs)
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending))) as pool:
+                futures = [(i, pool.submit(execute_cell, specs[i]))
+                           for i in pending]
+                for i, future in futures:
+                    results[i] = future.result()
+        else:
+            for i in pending:
+                results[i] = execute_cell(specs[i])
+        sweep.stats.executed += len(pending)
+        if sweep.cache:
+            for i in pending:
+                sweep.cache.put(specs[i], results[i])
+    return results  # type: ignore[return-value]

@@ -168,7 +168,13 @@ def measure_page_transfer(protocol: str, local: bool) -> float | None:
     return fixed + scale * sized
 
 
-def run_table1() -> Table1Results:
+def run_table1(sweep=None) -> Table1Results:
+    """Measure Table 1 via the sweep engine (one cacheable cell)."""
+    from .sweep import RunSpec, run_cells
+    return run_cells([RunSpec.table1_run()], sweep)[0].payload
+
+
+def _measure_table1() -> Table1Results:
     cfg = MachineConfig()
     costs = cfg.costs
     lock = {p: measure_lock_acquire(p) for p in ("2L", "1LD")}

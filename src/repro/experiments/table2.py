@@ -11,10 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..apps import make_app
-from ..runtime.api import SharedSegment
-from ..runtime.sequential import run_sequential
 from ..stats.report import format_table
 from .configs import APP_ORDER, FULL_PLATFORM, bench_params
+from .sweep import RunSpec, run_cells
 
 
 @dataclass
@@ -27,20 +26,20 @@ class Table2Row:
     paper_seq_time_s: float
 
 
-def run_table2(apps: tuple[str, ...] = APP_ORDER) -> list[Table2Row]:
+def run_table2(apps: tuple[str, ...] = APP_ORDER,
+               sweep=None) -> list[Table2Row]:
+    specs = [RunSpec.seq_run(name, FULL_PLATFORM) for name in apps]
+    cells = run_cells(specs, sweep)
     rows = []
-    for name in apps:
+    for name, cell in zip(apps, cells):
         app = make_app(name)
         params = bench_params(app)
-        env, time_us = run_sequential(app, params, FULL_PLATFORM)
-        seg = SharedSegment(FULL_PLATFORM)
-        app.declare(seg, params)
         problem = ", ".join(f"{k}={v}" for k, v in params.items())
         rows.append(Table2Row(
             app=name,
             problem=problem,
-            shared_kbytes=seg.words_used * 8 / 1024,
-            seq_time_s=time_us / 1e6,
+            shared_kbytes=cell.shared_kbytes,
+            seq_time_s=cell.exec_time_us / 1e6,
             paper_problem=app.paper_problem_size,
             paper_seq_time_s=app.paper_seq_time_s,
         ))

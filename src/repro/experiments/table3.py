@@ -13,10 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..apps import make_app
-from ..runtime.program import run_app
 from ..stats.report import format_table, kilo
-from .configs import APP_ORDER, FULL_PLATFORM, PROTOCOL_ORDER, bench_params
+from .configs import APP_ORDER, FULL_PLATFORM, PROTOCOL_ORDER
+from .sweep import RunSpec, run_cells
 
 #: (row label, table3_row key, in thousands?)
 ROW_SPEC = (
@@ -69,15 +68,16 @@ class Table3Results:
 
 def run_table3(apps: tuple[str, ...] = APP_ORDER,
                protocols: tuple[str, ...] = PROTOCOL_ORDER,
-               config=None) -> Table3Results:
+               config=None, sweep=None) -> Table3Results:
     config = config or FULL_PLATFORM
+    specs = [RunSpec.app_run(app_name, protocol, config)
+             for app_name in apps for protocol in protocols]
+    cells = iter(run_cells(specs, sweep))
     results = Table3Results()
     for app_name in apps:
         results.stats[app_name] = {}
         for protocol in protocols:
-            app = make_app(app_name)
-            run = run_app(app, bench_params(app), config, protocol)
-            results.stats[app_name][protocol] = run.stats.table3_row()
+            results.stats[app_name][protocol] = next(cells).table3
     return results
 
 

@@ -1,0 +1,252 @@
+"""The sweep engine: parallel determinism, the content-addressed cache,
+and the CLI knobs.
+
+The load-bearing properties:
+
+1. Parallel execution (``jobs=2`` and ``jobs=4``) produces **byte-
+   identical** formatted and JSON output to serial execution — results
+   are merged back in spec order, and cells are independent.
+2. The cache round-trips bit-exact results, and is invalidated by any
+   RunSpec field change or any source-tree change (via the digest).
+3. ``--no-cache`` never touches the disk; ``--refresh`` re-executes and
+   rewrites.
+"""
+
+import dataclasses
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.experiments import sweep as sweep_mod
+from repro.experiments.configs import FULL_PLATFORM
+from repro.experiments.sweep import (CACHE_SCHEMA, CellResult, ResultCache,
+                                     RunSpec, Sweep, cache_key,
+                                     config_from_key, config_key,
+                                     execute_cell, resolve_jobs, run_cells)
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.table3 import run_table3
+
+SMALL = FULL_PLATFORM.with_placement(8, 2)
+
+
+def small_spec(protocol="2L", app="Em3d", **kwargs):
+    return RunSpec.app_run(app, protocol, SMALL, **kwargs)
+
+
+class TestRunSpec:
+    def test_config_round_trip(self):
+        key = config_key(SMALL)
+        assert config_from_key(key) == SMALL
+        assert hash(key)  # usable as part of a frozen spec
+
+    def test_spec_is_hashable_and_picklable(self):
+        spec = small_spec(params={"_compute_scale": 2.0})
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert hash(spec)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            execute_cell(dataclasses.replace(small_spec(), kind="nope"))
+
+
+class TestParallelDeterminism:
+    """Parallel output must be byte-identical to serial output."""
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_figure7_quick_byte_identical(self, jobs):
+        kwargs = dict(apps=("SOR",), placements=("4:1", "8:4"),
+                      home_opt=False)
+        serial = run_figure7(sweep=Sweep(jobs=1), **kwargs)
+        parallel = run_figure7(sweep=Sweep(jobs=jobs), **kwargs)
+        assert parallel.format() == serial.format()
+        assert json.dumps(dataclasses.asdict(parallel)) == \
+            json.dumps(dataclasses.asdict(serial))
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_table3_all_protocols_byte_identical(self, jobs):
+        kwargs = dict(apps=("SOR",),
+                      protocols=("2L", "2LS", "1LD", "1L"), config=SMALL)
+        serial = run_table3(sweep=Sweep(jobs=1), **kwargs)
+        parallel = run_table3(sweep=Sweep(jobs=jobs), **kwargs)
+        assert parallel.format() == serial.format()
+        assert json.dumps(dataclasses.asdict(parallel)) == \
+            json.dumps(dataclasses.asdict(serial))
+
+    def test_pool_and_serial_cells_bit_exact(self):
+        specs = [small_spec("2L"), small_spec("1LD")]
+        serial = run_cells(specs, Sweep(jobs=1))
+        pooled = run_cells(specs, Sweep(jobs=2))
+        for a, b in zip(serial, pooled):
+            assert a == b  # dataclass equality: every float bit-exact
+
+
+class TestCache:
+    def test_round_trip_bit_exact(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        spec = small_spec()
+        cold = Sweep(cache=cache)
+        first = run_cells([spec], cold)[0]
+        assert (cold.stats.hits, cold.stats.misses,
+                cold.stats.executed) == (0, 1, 1)
+        warm = Sweep(cache=cache)
+        second = run_cells([spec], warm)[0]
+        assert (warm.stats.hits, warm.stats.misses,
+                warm.stats.executed) == (1, 0, 0)
+        assert second == first
+        assert second.table3 == first.table3
+
+    def test_spec_field_change_invalidates(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        run_cells([small_spec("2L")], Sweep(cache=cache))
+        changed = Sweep(cache=cache)
+        run_cells([small_spec("1LD")], changed)
+        assert changed.stats.misses == 1
+        for variant in (small_spec(params={"_compute_scale": 2.0}),
+                        small_spec(lock_free=False),
+                        RunSpec.seq_run("Em3d", SMALL)):
+            assert cache.get(variant) is None
+
+    def test_source_digest_change_invalidates(self, tmp_path,
+                                              monkeypatch):
+        cache = ResultCache(root=str(tmp_path))
+        spec = small_spec()
+        run_cells([spec], Sweep(cache=cache))
+        assert cache.get(spec) is not None
+        monkeypatch.setattr(sweep_mod, "_source_digest",
+                            "0" * 64)
+        assert cache.get(spec) is None
+        stale = Sweep(cache=cache)
+        run_cells([spec], stale)
+        assert stale.stats.misses == 1 and stale.stats.executed == 1
+
+    def test_version_in_key(self, monkeypatch):
+        spec = small_spec()
+        before = cache_key(spec)
+        monkeypatch.setattr(sweep_mod, "__version__", "999.0.0")
+        assert cache_key(spec) != before
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        spec = small_spec()
+        run_cells([spec], Sweep(cache=cache))
+        path = cache.path(cache_key(spec))
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        assert cache.get(spec) is None
+        recovered = Sweep(cache=cache)
+        run_cells([spec], recovered)  # re-executes and heals the entry
+        assert recovered.stats.executed == 1
+        assert cache.get(spec) is not None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        spec = small_spec()
+        path = cache.path(cache_key(spec))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump({"schema": "other", "result": CellResult()}, fh)
+        assert cache.get(spec) is None
+        assert CACHE_SCHEMA != "other"
+
+    def test_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("CASHMERE_CACHE_DIR", str(tmp_path / "alt"))
+        cache = ResultCache()
+        assert cache.root == str(tmp_path / "alt")
+
+    def test_refresh_mode_reexecutes_and_rewrites(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        spec = small_spec()
+        real = run_cells([spec], Sweep(cache=cache))[0]
+        # Poison the entry; a plain warm run would serve the poison.
+        poisoned = CellResult(exec_time_us=-1.0, table3=real.table3)
+        cache.put(spec, poisoned)
+        assert cache.get(spec).exec_time_us == -1.0
+        refresh = Sweep(cache=ResultCache(root=str(tmp_path),
+                                          mode="refresh"))
+        result = run_cells([spec], refresh)[0]
+        assert refresh.stats.hits == 0 and refresh.stats.executed == 1
+        assert result == real
+        # ...and the poisoned entry was rewritten with the real result.
+        assert cache.get(spec) == real
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(mode="maybe")
+
+
+class TestNoCache:
+    def test_no_cache_never_touches_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("CASHMERE_CACHE_DIR", str(tmp_path / "c"))
+        sweep = Sweep(cache=None)
+        run_cells([small_spec()], sweep)
+        assert not (tmp_path / "c").exists()
+        assert sweep.stats.executed == 1
+        assert sweep.stats.hits == 0 and sweep.stats.misses == 0
+
+
+class TestJobsResolution:
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("CASHMERE_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("CASHMERE_JOBS", "3")
+        assert resolve_jobs(None) == 3
+        assert resolve_jobs(2) == 2  # explicit wins
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("CASHMERE_JOBS", "many")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)
+
+    def test_floor_of_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-4) == 1
+
+
+class TestRunnerCLI:
+    def run_cli(self, capsys, argv):
+        from repro.experiments.runner import main
+        assert main(argv) == 0
+        return capsys.readouterr()
+
+    def test_json_all_is_single_array(self, capsys, tmp_path,
+                                      monkeypatch):
+        monkeypatch.setenv("CASHMERE_CACHE_DIR", str(tmp_path))
+        # 'all' limited to one cheap app still covers every experiment.
+        # (The app goes before --json: --json greedily takes a PATH.)
+        captured = self.run_cli(capsys, ["all", "SOR", "--quick",
+                                         "--json"])
+        docs = json.loads(captured.out)
+        assert isinstance(docs, list) and len(docs) == 9
+        assert [d["experiment"] for d in docs] == [
+            "table1", "table2", "table3", "figure6", "figure7",
+            "shootdown", "lockfree", "sensitivity", "polling"]
+        assert "misses" in captured.err and "hits" in captured.err
+
+    def test_warm_rerun_executes_nothing_and_matches(self, capsys,
+                                                     tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv("CASHMERE_CACHE_DIR", str(tmp_path))
+        first = self.run_cli(capsys, ["figure7", "SOR", "--quick", "-j",
+                                      "2"])
+        assert "0 hits" in first.err
+        second = self.run_cli(capsys, ["figure7", "SOR", "--quick"])
+        assert second.out == first.out
+        assert "0 misses; 0 simulations executed" in second.err
+        assert "[figure7:" in second.err  # per-experiment progress line
+
+    def test_no_cache_flag(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("CASHMERE_CACHE_DIR", str(tmp_path / "c"))
+        captured = self.run_cli(capsys, ["table2", "SOR", "--no-cache"])
+        assert "cache disabled" in captured.err
+        assert not (tmp_path / "c").exists()
+
+    def test_refresh_flag(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("CASHMERE_CACHE_DIR", str(tmp_path))
+        self.run_cli(capsys, ["table2", "SOR"])
+        captured = self.run_cli(capsys, ["table2", "SOR", "--refresh"])
+        assert "0 hits" in captured.err
+        assert "1 simulations executed" in captured.err
