@@ -11,7 +11,7 @@ This example sweeps 8 processors arranged as 8x1, 4x2, and 2x4 and prints
 the speedup per arrangement for a memory-bound and a communication-bound
 application under 2L and 1LD.
 
-Usage:  python examples/clustering_study.py [APP ...]
+Usage:  python examples/clustering_study.py [APP ...] [--quick]
 """
 
 import sys
@@ -22,15 +22,16 @@ from repro.apps import ALL_APPS, make_app
 ARRANGEMENTS = ((8, 1), (4, 2), (2, 4))
 
 
-def study(app_name: str) -> None:
+def study(app_name: str, quick: bool = False) -> None:
     app = make_app(app_name)
-    params = app.default_params()
+    params = app.small_params() if quick else app.default_params()
     base_cfg = MachineConfig(nodes=8, procs_per_node=1, page_bytes=512)
     _, seq_us = run_sequential(app, params, base_cfg)
     print(f"\n{app_name} (sequential {seq_us / 1e6:.3f} s) — "
           f"8 processors total:")
     print(f"  {'layout':10s}{'2L':>8s}{'1LD':>8s}")
-    for nodes, ppn in ARRANGEMENTS:
+    arrangements = ARRANGEMENTS[1:] if quick else ARRANGEMENTS
+    for nodes, ppn in arrangements:
         cfg = MachineConfig(nodes=nodes, procs_per_node=ppn,
                             page_bytes=512)
         sp = {}
@@ -40,12 +41,14 @@ def study(app_name: str) -> None:
         print(f"  {nodes}x{ppn:<8d}{sp['2L']:>8.2f}{sp['1LD']:>8.2f}")
 
 
-def main() -> None:
-    apps = sys.argv[1:] or ["SOR", "Em3d"]
+def main(quick: bool = False) -> None:
+    args = [a for a in sys.argv[1:] if a != "--quick"]
+    quick = quick or "--quick" in sys.argv[1:]
+    apps = args or (["SOR"] if quick else ["SOR", "Em3d"])
     for app_name in apps:
         if app_name not in ALL_APPS:
             raise SystemExit(f"unknown app {app_name!r}")
-        study(app_name)
+        study(app_name, quick)
     print("\nMemory-bound codes slow down as processors share a node bus;")
     print("communication-bound codes speed up as sharing moves on-node "
           "(two-level protocols only).")

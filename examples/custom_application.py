@@ -16,6 +16,8 @@ The same worker code runs in both settings; anything that can block is a
 ``yield env.compute(...)`` points.
 """
 
+import sys
+
 import numpy as np
 
 from repro import MachineConfig, run_and_verify
@@ -79,13 +81,16 @@ class PowerIteration(Application):
         return ["x", "norm"]
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
+    quick = quick or "--quick" in sys.argv[1:]
     app = PowerIteration()
-    config = MachineConfig(nodes=4, procs_per_node=2, page_bytes=512)
+    params = {"n": 16, "iters": 2} if quick else app.default_params()
+    nodes = 2 if quick else 4
+    config = MachineConfig(nodes=nodes, procs_per_node=2, page_bytes=512)
     print("Running a custom application (power iteration) under all four "
           "protocols...\n")
     for protocol in ("2L", "2LS", "1LD", "1L"):
-        cmp = run_and_verify(app, app.default_params(), config,
+        cmp = run_and_verify(app, params, config,
                              protocol=protocol)
         x = cmp.run.array("x")
         print(f"  {protocol:4s} speedup {cmp.speedup:5.2f}  verified "

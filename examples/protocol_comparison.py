@@ -9,6 +9,7 @@ shrink under the two-level protocols because processors of a node share
 one copy of each page.
 
 Usage:  python examples/protocol_comparison.py [APP] [NODES] [PROCS/NODE]
+        [--quick]
 """
 
 import sys
@@ -17,16 +18,18 @@ from repro import MachineConfig, run_app, run_sequential
 from repro.apps import ALL_APPS, make_app
 
 
-def main() -> None:
-    app_name = sys.argv[1] if len(sys.argv) > 1 else "Gauss"
-    nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 8
-    ppn = int(sys.argv[3]) if len(sys.argv) > 3 else 4
+def main(quick: bool = False) -> None:
+    argv = [a for a in sys.argv[1:] if a != "--quick"]
+    quick = quick or "--quick" in sys.argv[1:]
+    app_name = argv[0] if len(argv) > 0 else "Gauss"
+    nodes = int(argv[1]) if len(argv) > 1 else (2 if quick else 8)
+    ppn = int(argv[2]) if len(argv) > 2 else (2 if quick else 4)
     if app_name not in ALL_APPS:
         raise SystemExit(f"unknown app {app_name!r}")
     config = MachineConfig(nodes=nodes, procs_per_node=ppn, page_bytes=512)
 
     app = make_app(app_name)
-    params = app.default_params()
+    params = app.small_params() if quick else app.default_params()
     _, seq_us = run_sequential(app, params, config)
     print(f"{app.name} on {nodes}x{ppn} processors "
           f"(sequential {seq_us / 1e6:.3f} s)\n")

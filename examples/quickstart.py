@@ -17,7 +17,8 @@ transfers, diffs, lock/barrier waits, Memory Channel traffic) and
 exports them as Chrome ``trace_event`` JSON — open the file at
 https://ui.perfetto.dev to see one timeline track per processor.
 
-Usage:  python examples/quickstart.py [APP] [--check] [--trace FILE]
+Usage:  python examples/quickstart.py [APP] [--check] [--quick]
+        [--trace FILE]
 """
 
 import sys
@@ -27,10 +28,11 @@ from repro.apps import ALL_APPS, make_app
 from repro.trace import write_chrome_trace
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
     args = list(sys.argv[1:])
     check = "--check" in args
-    argv = [a for a in args if a != "--check"]
+    quick = quick or "--quick" in args
+    argv = [a for a in args if a not in ("--check", "--quick")]
     trace_out = None
     if "--trace" in argv:
         i = argv.index("--trace")
@@ -42,7 +44,8 @@ def main() -> None:
     unknown = [a for a in argv if a.startswith("-")]
     if unknown:
         raise SystemExit(f"unknown option(s) {unknown}; usage: "
-                         f"quickstart.py [APP] [--check] [--trace FILE]")
+                         f"quickstart.py [APP] [--check] [--quick] "
+                         f"[--trace FILE]")
     app_name = argv[0] if argv else "SOR"
     if app_name not in ALL_APPS:
         raise SystemExit(f"unknown app {app_name!r}; "
@@ -55,7 +58,8 @@ def main() -> None:
           f"on {config.nodes} nodes x {config.procs_per_node} processors "
           f"under Cashmere-2L"
           f"{' with correctness checking' if check else ''}...")
-    cmp = run_and_verify(app, app.default_params(), config, protocol="2L")
+    params = app.small_params() if quick else app.default_params()
+    cmp = run_and_verify(app, params, config, protocol="2L")
 
     if check:
         stats = cmp.run.stats

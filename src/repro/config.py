@@ -12,9 +12,22 @@ DEC AlphaServer 2100 4/233 machines on a first-generation Memory Channel.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field, replace
 
 from .errors import ConfigError
+
+
+def env_flag(name: str) -> bool:
+    """Whether the environment variable ``name`` is set and non-empty.
+
+    The sanctioned accessor for boolean environment switches
+    (``CASHMERE_NO_FASTPATH`` and friends): environment reads are a
+    hidden input the result-cache key cannot see, so the determinism
+    lint (rule D105, DESIGN.md §11) confines them to this module and
+    the bench/sweep entry points.
+    """
+    return bool(os.environ.get(name))
 
 #: Bytes per shared-memory word. The Alpha reads/writes 32 bits atomically,
 #: but application data is 64-bit; we simulate 64-bit words and count bytes.

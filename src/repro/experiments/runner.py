@@ -14,6 +14,7 @@ Usage (installed as ``cashmere-repro``)::
     cashmere-repro profile APP [--protocol 2L]
     cashmere-repro bench   [--quick] [--json [BENCH_run.json]]
                            [--baseline benchmarks/perf/baseline.json]
+    cashmere-repro lint    [PATHS ...] [--select RULES] [--format json]
 
 Every table/figure/ablation experiment runs through the sweep engine
 (:mod:`repro.experiments.sweep`): ``-j/--jobs N`` (or ``CASHMERE_JOBS``)
@@ -37,6 +38,11 @@ writes the report to ``PATH`` instead.
 experiment reports simulated time); with ``--baseline`` it exits nonzero
 when the access-path microbenchmark has regressed more than 2x.
 
+``lint`` runs the static DSM-usage analyzer and determinism lint
+(:mod:`repro.lint`) over PATHS (default: the installed ``repro``
+package). Exit code 0 means clean, 1 means findings, 2 means a usage
+error; see README "Static analysis" for the rule table.
+
 ``trace`` runs one application with event tracing and exports Chrome
 ``trace_event`` JSON viewable at https://ui.perfetto.dev; ``profile``
 prints the derived contention report (hot pages, lock hold/wait times,
@@ -48,8 +54,8 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
-import time
 
 from .configs import (APP_ORDER, PLACEMENT_ORDER, PROTOCOL_ORDER,
                       QUICK_PLACEMENTS)
@@ -60,7 +66,7 @@ from .polling import run_polling_ablation
 from .sensitivity import run_sensitivity
 from .shootdown import run_shootdown_ablation
 from .bench import run_bench
-from .sweep import ResultCache, Sweep
+from .sweep import ResultCache, Sweep, wall_clock
 from .table1 import run_table1
 from .table2 import format_table2, run_table2
 from .table3 import run_table3
@@ -96,6 +102,34 @@ def _emit(experiment: str, result, formatted: str, as_json: bool,
         print(formatted)
 
 
+def run_lint(args: argparse.Namespace) -> int:
+    """The ``lint`` subcommand: static analysis, exit 0/1/2.
+
+    stdout carries nothing but the (deterministic) report — no timing
+    lines, so two runs over the same tree are byte-identical.
+    """
+    from .. import lint
+
+    paths = args.apps
+    if not paths:
+        # Default target: the installed simulator package itself.
+        paths = [os.path.dirname(os.path.dirname(
+            os.path.abspath(lint.__file__)))]
+    try:
+        result = lint.run(paths, select=args.select)
+    except lint.UsageError as exc:
+        print(f"cashmere-repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cashmere-repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.lint_format == "json":
+        print(result.format_json())
+    else:
+        print(result.format_text())
+    return result.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="cashmere-repro",
@@ -105,10 +139,11 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["table1", "table2", "table3", "figure6",
                                  "figure7", "shootdown", "lockfree",
                                  "sensitivity", "polling", "all",
-                                 "trace", "profile", "bench"])
+                                 "trace", "profile", "bench", "lint"])
     parser.add_argument("apps", nargs="*",
                         help="restrict to these applications (required "
-                             "single APP for trace/profile)")
+                             "single APP for trace/profile; PATHS to "
+                             "analyze for lint)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced placement set for figure7; smaller "
                              "reps/problem sizes for bench")
@@ -137,9 +172,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--refresh", action="store_true",
                         help="re-execute every cell and rewrite its "
                              "cache entries (ignore existing ones)")
-    args = parser.parse_args(argv)
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="lint only: restrict to these rule IDs or "
+                             "prefixes, comma-separated (e.g. "
+                             "'A001,D' selects A001 and every D-rule)")
+    parser.add_argument("--format", default="text",
+                        choices=["text", "json"], dest="lint_format",
+                        help="lint only: output format")
+    # parse_intermixed_args: `lint --select D PATH` has optionals
+    # before the nargs='*' positional, which plain parse_args
+    # cannot split.
+    args = parser.parse_intermixed_args(argv)
 
-    start = time.time()
+    if args.experiment == "lint":
+        return run_lint(args)
+
+    start = wall_clock()
     if args.experiment == "bench":
         report = run_bench(quick=args.quick, baseline_path=args.baseline,
                            progress=lambda name: print(
@@ -153,7 +201,7 @@ def main(argv: list[str] | None = None) -> int:
             print(json.dumps(report.to_json(), indent=2))
         else:
             print(report.format())
-        print(f"[{time.time() - start:.1f}s wall clock]", file=sys.stderr)
+        print(f"[{wall_clock() - start:.1f}s wall clock]", file=sys.stderr)
         failure = report.check_regression()
         if failure is not None:
             print(f"BENCH REGRESSION: {failure}", file=sys.stderr)
@@ -172,7 +220,7 @@ def main(argv: list[str] | None = None) -> int:
             profile = run_profile(args.apps[0], args.protocol)
             _emit("profile", profile.to_json(), profile.format(),
                   args.as_json)
-        print(f"[{time.time() - start:.1f}s wall clock]", file=sys.stderr)
+        print(f"[{wall_clock() - start:.1f}s wall clock]", file=sys.stderr)
         return 0
 
     apps = _apps_arg(args.apps)
@@ -188,7 +236,7 @@ def main(argv: list[str] | None = None) -> int:
                       mode="refresh" if args.refresh else "on"))
     json_docs: list | None = [] if args.as_json and len(todo) > 1 else None
     for experiment in todo:
-        exp_start = time.time()
+        exp_start = wall_clock()
         if experiment == "table1":
             result = run_table1(sweep=sweep)
             _emit(experiment, result, result.format(), args.as_json,
@@ -231,13 +279,13 @@ def main(argv: list[str] | None = None) -> int:
                   json_docs)
         if not args.as_json:
             print()
-        print(f"[{experiment}: {time.time() - exp_start:.1f}s]",
+        print(f"[{experiment}: {wall_clock() - exp_start:.1f}s]",
               file=sys.stderr)
     if json_docs is not None:
         print(json.dumps(json_docs, indent=2))
     print(f"[{sweep.stats.summary(sweep.cache is not None)}]",
           file=sys.stderr)
-    print(f"[{time.time() - start:.1f}s wall clock]", file=sys.stderr)
+    print(f"[{wall_clock() - start:.1f}s wall clock]", file=sys.stderr)
     return 0
 
 

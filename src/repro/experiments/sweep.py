@@ -37,6 +37,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -53,6 +54,18 @@ CACHE_SCHEMA = "cashmere-sweep-1"
 #: Default on-disk cache location (relative to the working directory),
 #: unless ``CASHMERE_CACHE_DIR`` says otherwise.
 DEFAULT_CACHE_DIR = ".cashmere-cache"
+
+
+def wall_clock() -> float:
+    """The sanctioned wall-clock read.
+
+    Simulated results are a pure function of ``(RunSpec, source
+    digest)`` and must never depend on real time; progress reporting
+    may. Every wall-clock read outside this module and ``bench.py``
+    goes through here so the determinism lint (rule D101, see
+    DESIGN.md §11) can prove the rest of the tree clean.
+    """
+    return time.time()
 
 
 # --- RunSpec ------------------------------------------------------------------

@@ -1,0 +1,26 @@
+"""Static DSM-usage analyzer and simulator determinism lint.
+
+Two AST-based engines behind one rule/diagnostic framework:
+
+* the **app analyzer** (A-rules) checks worker kernels written against
+  the :class:`~repro.runtime.env.WorkerEnv` API — lock balance over a
+  CFG, barrier divergence under rank-dependent control flow, an
+  Eraser-style static lockset discipline, and phase-misuse patterns;
+* the **determinism lint** (D-rules) scans simulator source for
+  hazards that would break run-to-run determinism and the soundness of
+  the content-addressed result cache (DESIGN.md §11).
+
+CLI: ``cashmere-repro lint [PATHS] [--select RULES] [--format json]``.
+Programmatic: :func:`repro.lint.run`. Exit-code contract: 0 clean,
+1 findings, 2 usage error.
+"""
+
+from .api import UsageError, lint_source, run
+from .diagnostics import SCHEMA, Diagnostic, LintResult
+from .rules import RULES, Rule
+
+__all__ = [
+    "run", "lint_source", "UsageError",
+    "Diagnostic", "LintResult", "SCHEMA",
+    "RULES", "Rule",
+]

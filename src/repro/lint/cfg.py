@@ -1,0 +1,188 @@
+"""Intraprocedural control-flow graphs over Python AST.
+
+One :class:`CFG` per analyzed function: a node per statement (control
+headers — ``if``/``while``/``for``/``try``/``with`` — get a node for
+their header expression; their bodies are built recursively), plus
+synthetic entry and exit nodes. ``break``/``continue``/``return``/
+``raise`` are wired to their targets; loop back edges are explicit, so
+forward dataflow over the graph converges to a fixpoint that covers
+every iteration count.
+
+The graph is deliberately simple — no exception edges from arbitrary
+calls, ``try`` bodies approximated by letting every handler be entered
+from the try entry and from each body statement — which matches the
+shape of DSM worker kernels (straight-line phases, loops, a few
+conditionals) and keeps the lockset analysis in
+:mod:`repro.lint.appcheck` precise where it matters.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class CFGNode:
+    """One statement (or synthetic entry/exit) in the flow graph."""
+
+    __slots__ = ("stmt", "succs", "preds", "index")
+
+    def __init__(self, stmt: ast.stmt | None, index: int) -> None:
+        self.stmt = stmt
+        self.index = index
+        self.succs: list[CFGNode] = []
+        self.preds: list[CFGNode] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        what = type(self.stmt).__name__ if self.stmt is not None else "?"
+        line = getattr(self.stmt, "lineno", "-")
+        return f"<CFGNode #{self.index} {what}@{line}>"
+
+
+class CFG:
+    """Flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new(None)
+        self.exit = self._new(None)
+
+    def _new(self, stmt: ast.stmt | None) -> CFGNode:
+        node = CFGNode(stmt, len(self.nodes))
+        self.nodes.append(node)
+        return node
+
+    @staticmethod
+    def _connect(sources: set[CFGNode], target: CFGNode) -> None:
+        for src in sources:
+            src.succs.append(target)
+            target.preds.append(src)
+
+    # --- reachability helpers -----------------------------------------
+
+    def reachable_from(self, starts: set[CFGNode],
+                       blocked: set[CFGNode] | None = None
+                       ) -> set[CFGNode]:
+        """Nodes reachable from ``starts`` without *entering* a blocked
+        node (the start nodes themselves are included)."""
+        blocked = blocked or set()
+        seen: set[CFGNode] = set()
+        stack = [n for n in starts if n not in blocked]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for succ in node.succs:
+                if succ not in seen and succ not in blocked:
+                    stack.append(succ)
+        return seen
+
+
+class _LoopFrame:
+    """Break/continue targets while building a loop body."""
+
+    __slots__ = ("header", "breaks")
+
+    def __init__(self, header: CFGNode) -> None:
+        self.header = header
+        self.breaks: set[CFGNode] = set()
+
+
+def _always_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.loops: list[_LoopFrame] = []
+        self.exits: set[CFGNode] = set()
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        frontier = self._body(body, {self.cfg.entry})
+        CFG._connect(frontier | self.exits, self.cfg.exit)
+        return self.cfg
+
+    def _body(self, stmts: list[ast.stmt],
+              frontier: set[CFGNode]) -> set[CFGNode]:
+        for stmt in stmts:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt,
+              frontier: set[CFGNode]) -> set[CFGNode]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            node = cfg._new(stmt)
+            CFG._connect(frontier, node)
+            then = self._body(stmt.body, {node})
+            other = self._body(stmt.orelse, {node})
+            return then | other
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            node = cfg._new(stmt)
+            CFG._connect(frontier, node)
+            frame = _LoopFrame(node)
+            self.loops.append(frame)
+            body_exit = self._body(stmt.body, {node})
+            CFG._connect(body_exit, node)  # back edge
+            self.loops.pop()
+            if isinstance(stmt, ast.While) and _always_true(stmt.test):
+                fallthrough: set[CFGNode] = set()
+            else:
+                fallthrough = {node}
+            after = self._body(stmt.orelse, fallthrough) \
+                if stmt.orelse else fallthrough
+            return after | frame.breaks
+        if isinstance(stmt, ast.Try):
+            node = cfg._new(stmt)
+            CFG._connect(frontier, node)
+            first_body_index = len(cfg.nodes)
+            body_exit = self._body(stmt.body, {node})
+            body_nodes = set(cfg.nodes[first_body_index:]) | {node}
+            out = self._body(stmt.orelse, body_exit) \
+                if stmt.orelse else body_exit
+            for handler in stmt.handlers:
+                hnode = cfg._new(handler)  # type: ignore[arg-type]
+                CFG._connect(body_nodes, hnode)
+                out |= self._body(handler.body, {hnode})
+            if stmt.finalbody:
+                out = self._body(stmt.finalbody, out)
+            return out
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = cfg._new(stmt)
+            CFG._connect(frontier, node)
+            return self._body(stmt.body, {node})
+        if isinstance(stmt, ast.Match):
+            node = cfg._new(stmt)
+            CFG._connect(frontier, node)
+            out: set[CFGNode] = {node}
+            for case in stmt.cases:
+                out |= self._body(case.body, {node})
+            return out
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            node = cfg._new(stmt)
+            CFG._connect(frontier, node)
+            self.exits.add(node)
+            return set()
+        if isinstance(stmt, ast.Break):
+            node = cfg._new(stmt)
+            CFG._connect(frontier, node)
+            if self.loops:
+                self.loops[-1].breaks.add(node)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            node = cfg._new(stmt)
+            CFG._connect(frontier, node)
+            if self.loops:
+                CFG._connect({node}, self.loops[-1].header)
+            return set()
+        # Simple statement (including nested def/class, whose bodies are
+        # opaque to this intraprocedural graph).
+        node = cfg._new(stmt)
+        CFG._connect(frontier, node)
+        return {node}
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph of one function body."""
+    return _Builder().build(func.body)

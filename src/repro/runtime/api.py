@@ -13,10 +13,9 @@ earns its keep.
 from __future__ import annotations
 
 import contextlib
-import os
 from dataclasses import dataclass
 
-from ..config import MachineConfig
+from ..config import MachineConfig, env_flag
 from ..errors import ConfigError
 
 #: Nesting depth of active :func:`checking` context managers. When
@@ -99,7 +98,7 @@ def fastpath_enabled(config: MachineConfig) -> bool:
     correctness checker is attached (it needs per-word access events);
     that decision happens in :class:`~repro.runtime.env.WorkerEnv`.
     """
-    if os.environ.get("CASHMERE_NO_FASTPATH"):
+    if env_flag("CASHMERE_NO_FASTPATH"):
         return False
     return bool(config.fastpath)
 

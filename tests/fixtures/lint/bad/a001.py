@@ -1,0 +1,8 @@
+"""Bad: lock 0 is still held on the not-taken branch at exit."""
+
+
+def worker(env, params):
+    yield from env.acquire(0)
+    if env.rank == 0:
+        env.release(0)
+    yield from env.barrier()

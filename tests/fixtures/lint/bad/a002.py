@@ -1,0 +1,7 @@
+"""Bad: the release is not dominated by an acquire."""
+
+
+def worker(env, params):
+    if env.rank == 0:
+        yield from env.acquire(0)
+    env.release(0)

@@ -1,0 +1,6 @@
+"""Bad: only rank 0 reaches the barrier."""
+
+
+def worker(env, params):
+    if env.rank == 0:
+        yield from env.barrier()

@@ -1,0 +1,12 @@
+"""Bad: `counts` is locked by writers but read lock-free."""
+
+
+def worker(env, params):
+    counts = env.arr("counts")
+    yield from env.barrier()
+    yield from env.acquire(0)
+    env.set(counts, 0, env.get(counts, 0) + 1.0)
+    env.release(0)
+    total = env.get(counts, 0)
+    yield from env.barrier()
+    return total

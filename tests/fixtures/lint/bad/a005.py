@@ -1,0 +1,8 @@
+"""Bad: every worker writes word 0 concurrently."""
+
+
+def worker(env, params):
+    data = env.arr("data")
+    yield from env.barrier()
+    env.set(data, 0, 1.0)
+    yield from env.barrier()

@@ -1,0 +1,7 @@
+"""Bad: unguarded write in the initialization phase."""
+
+
+def worker(env, params):
+    data = env.arr("data")
+    env.set(data, 0, 1.0)
+    yield from env.barrier()

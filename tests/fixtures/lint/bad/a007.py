@@ -1,0 +1,9 @@
+"""Bad: overlapping self-copy through get_block/set_block."""
+
+
+def worker(env, params):
+    data = env.arr("data")
+    yield from env.barrier()
+    if env.rank == 0:
+        env.set_block(data, 0, env.get_block(data, 8, 16))
+    yield from env.barrier()

@@ -1,0 +1,7 @@
+"""Bad: simulated results must not depend on real time."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,8 @@
+"""Bad: process-global RNG and an unseeded generator."""
+
+import random
+
+
+def jitter():
+    rng = random.Random()
+    return random.random() + rng.random()

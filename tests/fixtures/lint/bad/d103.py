@@ -1,0 +1,8 @@
+"""Bad: set iteration order is not canonical."""
+
+
+def order():
+    out = []
+    for item in {3, 1, 2}:
+        out.append(item)
+    return out

@@ -1,0 +1,7 @@
+"""Bad: id() keys differ between runs."""
+
+
+def register(registry, objs):
+    for obj in objs:
+        registry[id(obj)] = obj
+    return sorted(objs, key=id)

@@ -1,0 +1,7 @@
+"""Bad: a hidden input the result-cache key cannot see."""
+
+import os
+
+
+def flag():
+    return os.environ.get("CASHMERE_SECRET") or os.getenv("OTHER")

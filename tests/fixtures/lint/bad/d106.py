@@ -1,0 +1,13 @@
+"""Bad: frozen specs must never be mutated after construction."""
+
+from repro.experiments.sweep import RunSpec
+
+
+def tweak():
+    spec = RunSpec(experiment="t", app="sor", protocol="2L")
+    spec.app = "water"
+    return spec
+
+
+def sneak(spec):
+    object.__setattr__(spec, "app", "water")

@@ -1,0 +1,5 @@
+"""Bad: not Python."""
+
+
+def broken(:
+    pass

@@ -1,0 +1,7 @@
+"""Good: acquire and release are balanced on every path."""
+
+
+def worker(env, params):
+    yield from env.acquire(0)
+    env.release(0)
+    yield from env.barrier()

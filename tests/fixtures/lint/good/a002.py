@@ -1,0 +1,9 @@
+"""Good: the acquire dominates the release."""
+
+
+def worker(env, params):
+    yield from env.acquire(0)
+    if env.rank == 0:
+        env.release(0)
+    else:
+        env.release(0)

@@ -1,0 +1,6 @@
+"""Good: every worker reaches every barrier."""
+
+
+def worker(env, params):
+    for _ in range(4):
+        yield from env.barrier()

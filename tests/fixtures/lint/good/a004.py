@@ -1,0 +1,10 @@
+"""Good: every access to the locked array holds the lock."""
+
+
+def worker(env, params):
+    counts = env.arr("counts")
+    yield from env.barrier()
+    yield from env.acquire(0)
+    env.set(counts, 0, env.get(counts, 0) + 1.0)
+    env.release(0)
+    yield from env.barrier()

@@ -1,0 +1,8 @@
+"""Good: the write index is partitioned by rank."""
+
+
+def worker(env, params):
+    data = env.arr("data")
+    yield from env.barrier()
+    env.set(data, env.rank, 1.0)
+    yield from env.barrier()

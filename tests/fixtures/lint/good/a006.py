@@ -1,0 +1,9 @@
+"""Good: initialization writes are elected to rank 0."""
+
+
+def worker(env, params):
+    data = env.arr("data")
+    if env.rank == 0:
+        env.set(data, 0, 1.0)
+    env.end_init()
+    yield from env.barrier()

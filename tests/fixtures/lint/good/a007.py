@@ -1,0 +1,9 @@
+"""Good: bind the block before writing it back."""
+
+
+def worker(env, params):
+    data = env.arr("data")
+    yield from env.barrier()
+    cur = env.get_block(data, 0, 8)
+    env.set_block(data, env.rank * 8, cur)
+    yield from env.barrier()

@@ -1,0 +1,7 @@
+"""Good: config.py is a sanctioned module for environment reads."""
+
+import os
+
+
+def flag():
+    return bool(os.environ.get("CASHMERE_SECRET"))

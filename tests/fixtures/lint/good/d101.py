@@ -1,0 +1,7 @@
+"""Good: progress timing goes through the sanctioned helper."""
+
+from repro.experiments.sweep import wall_clock
+
+
+def stamp():
+    return wall_clock()

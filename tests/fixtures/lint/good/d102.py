@@ -1,0 +1,8 @@
+"""Good: explicitly seeded generators are deterministic."""
+
+import random
+
+
+def jitter(seed):
+    rng = random.Random(seed)
+    return rng.random()

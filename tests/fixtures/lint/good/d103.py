@@ -1,0 +1,8 @@
+"""Good: sorting fixes the iteration order."""
+
+
+def order():
+    out = []
+    for item in sorted({3, 1, 2}):
+        out.append(item)
+    return out

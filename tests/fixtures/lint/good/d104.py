@@ -1,0 +1,7 @@
+"""Good: keyed by a stable name, not by identity."""
+
+
+def register(registry, objs):
+    for obj in objs:
+        registry[obj.name] = obj
+    return sorted(objs, key=lambda o: o.name)

@@ -1,0 +1,10 @@
+"""Good: derive a new spec instead of mutating."""
+
+import dataclasses
+
+from repro.experiments.sweep import RunSpec
+
+
+def tweak():
+    spec = RunSpec(experiment="t", app="sor", protocol="2L")
+    return dataclasses.replace(spec, app="water")

@@ -1,0 +1,5 @@
+"""Good: plain valid Python."""
+
+
+def fine():
+    return 42
