@@ -104,6 +104,37 @@ class CoherenceViolation(CashmereError):
         self.event = event
 
 
+class NodeCrashedError(SimulationError):
+    """A crash-stopped node was detected (fault injection, DESIGN.md §12).
+
+    Raised either by a crashed node's own processors when they reach
+    their crash time, or by a requester whose retry budget was exhausted
+    against an unresponsive node. Crash-stop is a *clean* failure: the
+    raise is deterministic (same seed and config, same failure point),
+    so crash runs make exact regression tests.
+    """
+
+
+class InvariantViolation(CashmereError):
+    """The model checker found a reachable state violating a coherence
+    invariant (:mod:`repro.check.explore`).
+
+    Carries the minimal counterexample: the interleaving ``schedule``
+    (which processor stepped, in order) and the per-step operation
+    ``trace`` that drives the real protocol code back into the violating
+    state. ``cause`` is the underlying check failure (a
+    :class:`CoherenceViolation`, :class:`ProtocolError`, or
+    :class:`DataRaceError`).
+    """
+
+    def __init__(self, message: str, *, schedule: tuple[int, ...] = (),
+                 trace: tuple = (), cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.schedule = schedule
+        self.trace = trace
+        self.cause = cause
+
+
 class UnknownCounterError(CashmereError):
     """A statistics counter name outside the canonical set was used.
 

@@ -11,10 +11,13 @@ Usage (installed as ``cashmere-repro``)::
     cashmere-repro lockfree
     cashmere-repro all     [--quick]
     cashmere-repro trace APP [--out trace.json] [--protocol 2L]
-    cashmere-repro profile APP [--protocol 2L]
+                             [--faults SEED]
+    cashmere-repro profile APP [--protocol 2L] [--faults SEED]
     cashmere-repro bench   [--quick] [--json [BENCH_run.json]]
                            [--baseline benchmarks/perf/baseline.json]
     cashmere-repro lint    [PATHS ...] [--select RULES] [--format json]
+    cashmere-repro modelcheck [PROTO ...] [--budget N] [--mutant NAME]
+                              [--out counterexample.json]
 
 Every table/figure/ablation experiment runs through the sweep engine
 (:mod:`repro.experiments.sweep`): ``-j/--jobs N`` (or ``CASHMERE_JOBS``)
@@ -46,7 +49,18 @@ error; see README "Static analysis" for the rule table.
 ``trace`` runs one application with event tracing and exports Chrome
 ``trace_event`` JSON viewable at https://ui.perfetto.dev; ``profile``
 prints the derived contention report (hot pages, lock hold/wait times,
-barrier imbalance, Memory Channel timeline).
+barrier imbalance, Memory Channel timeline). ``--faults SEED`` runs
+either under deterministic fault injection
+(``FaultConfig.demo(SEED)``; DESIGN.md §12) so the injected stalls,
+retries, and recoveries appear on the timeline.
+
+``modelcheck`` explores *every* interleaving of a small fixed workload
+(2 nodes x 2 processors x 2 pages) through the real protocol code and
+checks coherence invariants at each step (DESIGN.md §12). Default
+protocols: 2L and 1LD. Exit 1 on violation, with the minimal
+counterexample printed and exported to ``--out`` as a Chrome trace.
+``--mutant no-notices`` checks a deliberately broken protocol instead
+and exits 0 only if the planted bug is caught.
 """
 
 from __future__ import annotations
@@ -139,11 +153,13 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["table1", "table2", "table3", "figure6",
                                  "figure7", "shootdown", "lockfree",
                                  "sensitivity", "polling", "all",
-                                 "trace", "profile", "bench", "lint"])
+                                 "trace", "profile", "bench", "lint",
+                                 "modelcheck"])
     parser.add_argument("apps", nargs="*",
                         help="restrict to these applications (required "
                              "single APP for trace/profile; PATHS to "
-                             "analyze for lint)")
+                             "analyze for lint; protocol names for "
+                             "modelcheck)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced placement set for figure7; smaller "
                              "reps/problem sizes for bench")
@@ -172,6 +188,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--refresh", action="store_true",
                         help="re-execute every cell and rewrite its "
                              "cache entries (ignore existing ones)")
+    parser.add_argument("--faults", type=int, default=None, metavar="SEED",
+                        help="trace/profile only: run under deterministic "
+                             "fault injection with FaultConfig.demo(SEED)")
+    parser.add_argument("--budget", type=int, default=100_000, metavar="N",
+                        help="modelcheck only: distinct-state budget per "
+                             "protocol (exploration is exhaustive when "
+                             "under budget)")
+    parser.add_argument("--mutant", default=None,
+                        choices=["no-notices"],
+                        help="modelcheck only: check this deliberately "
+                             "broken protocol instead and expect the "
+                             "checker to catch it")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="lint only: restrict to these rule IDs or "
                              "prefixes, comma-separated (e.g. "
@@ -207,17 +235,40 @@ def main(argv: list[str] | None = None) -> int:
             print(f"BENCH REGRESSION: {failure}", file=sys.stderr)
             return 1
         return 0
+    if args.experiment == "modelcheck":
+        from .modelcheck import DEFAULT_PROTOCOLS, run_modelcheck
+        protocols = tuple(args.apps) if args.apps else DEFAULT_PROTOCOLS
+        for name in protocols:
+            if name not in PROTOCOL_ORDER:
+                raise SystemExit(f"unknown protocol {name!r}; choose from "
+                                 f"{list(PROTOCOL_ORDER)}")
+        out = args.out if args.out != parser.get_default("out") \
+            else "counterexample.json"
+        report = run_modelcheck(protocols, budget=args.budget,
+                                mutant=args.mutant, out=out)
+        if args.as_json:
+            print(json.dumps(report.to_json(), indent=2))
+        else:
+            print(report.format())
+        print(f"[{wall_clock() - start:.1f}s wall clock]", file=sys.stderr)
+        return 0 if report.ok else 1
     if args.experiment in ("trace", "profile"):
         if len(args.apps) != 1:
             raise SystemExit(
                 f"{args.experiment} needs exactly one application, e.g. "
                 f"`cashmere-repro {args.experiment} sor`")
+        faults = None
+        if args.faults is not None:
+            from ..config import FaultConfig
+            faults = FaultConfig.demo(args.faults)
         if args.experiment == "trace":
-            n = run_trace_export(args.apps[0], args.out, args.protocol)
+            n = run_trace_export(args.apps[0], args.out, args.protocol,
+                                 faults=faults)
             print(f"wrote {n} trace events to {args.out} "
                   f"(open at https://ui.perfetto.dev)")
         else:
-            profile = run_profile(args.apps[0], args.protocol)
+            profile = run_profile(args.apps[0], args.protocol,
+                                  faults=faults)
             _emit("profile", profile.to_json(), profile.format(),
                   args.as_json)
         print(f"[{wall_clock() - start:.1f}s wall clock]", file=sys.stderr)

@@ -1,0 +1,103 @@
+"""Engine 3: the fault-path lint.
+
+Under fault injection a directory entry can be *transient* (Pending,
+DESIGN.md §12): a multi-step transaction has published some but not all
+of its writes. Acting on a half-updated entry is exactly the class of
+protocol bug the FLASH-style NAK/Pending machinery exists to prevent,
+so access to the transient state is funneled through two narrow paths:
+
+* ``DirEntry.is_pending(at)`` / ``DirEntry.set_pending(until)`` — the
+  accessors, safe to *guard* with (skipping an optimization while an
+  entry is pending is always conservative);
+* ``BaseProtocol._await_not_pending(proc, entry)`` — the one sanctioned
+  reader of the raw ``pending_until`` field: it waits the window out
+  (bounded — ``pending_until`` is a deadline, not a flag), so the
+  caller proceeds against a settled entry.
+
+**F101** flags everything else:
+
+* a ``Load`` of a ``pending_until`` attribute in any function other
+  than the sanctioned readers above — a handler peeking at transient
+  state with no timeout semantics;
+* ``is_pending(...)`` in a ``while`` test — an unbounded poll; the
+  bounded wait is ``_await_not_pending``.
+
+Purely syntactic, like the determinism engine: no type inference. Any
+attribute named ``pending_until`` is assumed to be directory state —
+the name is reserved for it throughout this codebase.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable
+
+#: report(rule, line, col, message)
+Reporter = Callable[[str, int, int, str], None]
+
+#: Functions allowed to read ``pending_until`` directly: the accessors
+#: on ``DirEntry`` and the protocol's bounded wait.
+SANCTIONED_PENDING_READERS = frozenset({
+    "_await_not_pending", "is_pending", "set_pending",
+})
+
+
+def _is_is_pending_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    return (isinstance(func, ast.Attribute) and func.attr == "is_pending") \
+        or (isinstance(func, ast.Name) and func.id == "is_pending")
+
+
+class _FaultPathVisitor(ast.NodeVisitor):
+    def __init__(self, report: Reporter) -> None:
+        self.report = report
+        self._func_stack: list[str] = []
+
+    # --- function context ---------------------------------------------------
+
+    def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef
+                    ) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_func(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_func(node)
+
+    # --- pattern 1: raw pending_until reads ---------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (node.attr == "pending_until"
+                and isinstance(node.ctx, ast.Load)
+                and not (self._func_stack and self._func_stack[-1]
+                         in SANCTIONED_PENDING_READERS)):
+            self.report(
+                "F101", node.lineno, node.col_offset,
+                "raw read of transient directory state (pending_until) "
+                "outside the sanctioned timeout path: call "
+                "_await_not_pending() (or guard with is_pending()) so the "
+                "wait stays bounded")
+        self.generic_visit(node)
+
+    # --- pattern 2: unbounded is_pending polling ----------------------------
+
+    def visit_While(self, node: ast.While) -> None:
+        for sub in ast.walk(node.test):
+            if _is_is_pending_call(sub):
+                self.report(
+                    "F101", sub.lineno, sub.col_offset,
+                    "polling is_pending() in a loop: the bounded wait is "
+                    "_await_not_pending(), which charges the remaining "
+                    "window and returns")
+                break
+        self.generic_visit(node)
+
+
+def check_faultpaths(tree: ast.AST, report: Reporter) -> None:
+    """Run the fault-path checks over one parsed module."""
+    _FaultPathVisitor(report).visit(tree)

@@ -1,7 +1,9 @@
-"""Simulated DEC Memory Channel: regions, mapping table, network model."""
+"""Simulated DEC Memory Channel: regions, mapping table, network model,
+and deterministic fault injection."""
 
+from .faults import FaultInjector
 from .network import MC_WORD_BYTES, MemoryChannel
 from .regions import MappingTable, MCRegion, VersionedWord
 
 __all__ = ["MemoryChannel", "MCRegion", "VersionedWord", "MappingTable",
-           "MC_WORD_BYTES"]
+           "MC_WORD_BYTES", "FaultInjector"]

@@ -1,0 +1,133 @@
+"""Deterministic fault injection for the Memory Channel model.
+
+The :class:`FaultInjector` is the single authority for every injected
+fault in a run: delayed and lost write notices, hub-level reordering of
+remote word writes, NAK'd explicit requests, slowed-down server nodes,
+and one crash-stopped node. It is attached to a
+:class:`~repro.cluster.machine.Cluster` when ``MachineConfig.faults``
+is set, and every injection site holds an ``injector`` attribute that
+is ``None`` by default — a run without fault injection executes
+exactly the code it executed before this module existed (the same
+observer discipline as :mod:`repro.check` and :mod:`repro.trace`).
+
+Determinism contract (DESIGN.md §12): all decisions come from one
+private ``random.Random(seed)`` stream, consulted in simulation order,
+and a decision point draws from the stream *only when its configured
+rate is non-zero*. Consequences:
+
+* a zero-rate :class:`~repro.config.FaultConfig` draws nothing and is
+  byte-identical to ``faults=None``;
+* enabling one fault class does not perturb the schedule positions at
+  which an *independent* class would otherwise fire only via the
+  simulation schedule itself (fault classes share the stream but each
+  opportunity is reached in deterministic simulated order);
+* rerunning with the same seed reproduces the exact fault schedule —
+  every discovered failure is a one-line regression test.
+
+What each fault models on the real hardware:
+
+* **notice delay / drop** — write notices travel as non-acknowledged
+  remote writes into a per-source bin; a dropped payload still advances
+  the bin's tail pointer (that word write is part of the ordered
+  stream), so the consumer sees a sequence *gap* and must conservatively
+  resynchronize (:meth:`~repro.protocol.base.BaseProtocol` recovery).
+* **reorder** — the hub may deliver writes to *different* regions out
+  of issue order; per-region order is still guaranteed, which
+  :class:`~repro.memchannel.regions.VersionedWord` enforces regardless
+  of the jitter injected here.
+* **NAK** — a server whose protocol state is transiently Pending
+  refuses the request (FLASH-style negative acknowledgement,
+  SNIPPETS.md Snippet 3); the requester backs off and retries.
+* **slowdown / crash-stop** — an overloaded or failed node: handler
+  service stretches by a factor, or the node halts entirely and its
+  requests go unanswered.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..config import FaultConfig, MachineConfig
+
+
+class FaultInjector:
+    """Seeded source of all injected faults for one run."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        faults = config.faults
+        if faults is None:
+            raise ValueError("FaultInjector requires config.faults")
+        self.faults: FaultConfig = faults
+        self._rng = random.Random(faults.seed)
+        self._slow = frozenset(faults.slow_nodes) if \
+            faults.slowdown > 1.0 else frozenset()
+        # Injection bookkeeping (injector-side; processor stats count
+        # the protocol-visible consequences).
+        self.notices_delayed = 0
+        self.notices_dropped = 0
+        self.words_reordered = 0
+        self.naks_injected = 0
+        self.ties_permuted = 0
+
+    # --- decision points ---------------------------------------------------
+    # Each draws from the RNG only when its rate is non-zero, so fault
+    # classes can be toggled independently and zero-rate configs are
+    # byte-identical to no injector at all.
+
+    def _hit(self, rate: float) -> bool:
+        return rate > 0.0 and self._rng.random() < rate
+
+    def notice_fate(self) -> tuple[bool, float]:
+        """``(lost, extra_delay_us)`` for one posted write notice."""
+        if self._hit(self.faults.notice_drop_rate):
+            self.notices_dropped += 1
+            return True, 0.0
+        if self._hit(self.faults.notice_delay_rate):
+            self.notices_delayed += 1
+            return False, self.faults.notice_delay_us
+        return False, 0.0
+
+    def word_jitter(self) -> float:
+        """Extra visibility delay for one remote word write, us."""
+        if self._hit(self.faults.reorder_rate):
+            self.words_reordered += 1
+            return self._rng.uniform(0.0, self.faults.reorder_window_us)
+        return 0.0
+
+    def nak_request(self) -> bool:
+        """Whether the server NAKs this explicit request attempt."""
+        if self._hit(self.faults.nak_rate):
+            self.naks_injected += 1
+            return True
+        return False
+
+    def choose_tie(self, n: int) -> int:
+        """Simulator choice-point hook: which of ``n`` same-instant
+        events fires first (``Simulator.chooser``). Same-time events
+        carry no ordering guarantee on the Memory Channel, so any
+        permutation is a legal schedule."""
+        if n > 1 and self._hit(self.faults.reorder_rate):
+            self.ties_permuted += 1
+            return self._rng.randrange(n)
+        return 0
+
+    # --- rate-free queries (no randomness) ---------------------------------
+
+    def node_slowdown(self, node_id: int) -> float:
+        """Service-time multiplier for request handlers on ``node_id``."""
+        return self.faults.slowdown if node_id in self._slow else 1.0
+
+    def node_crashed(self, node_id: int, at: float) -> bool:
+        """Whether ``node_id`` has crash-stopped by simulated time ``at``."""
+        return node_id == self.faults.crash_node \
+            and at >= self.faults.crash_at_us
+
+    def summary(self) -> dict[str, int]:
+        """Injection counts, for reports and tests."""
+        return {
+            "notices_delayed": self.notices_delayed,
+            "notices_dropped": self.notices_dropped,
+            "words_reordered": self.words_reordered,
+            "naks_injected": self.naks_injected,
+            "ties_permuted": self.ties_permuted,
+        }

@@ -89,6 +89,26 @@ class BaseProtocol:
         #: Optional event tracer (:class:`repro.trace.Tracer`): when set,
         #: fault service and protocol actions are recorded as trace spans.
         self.trace = None
+        #: Optional fault injector (:class:`repro.memchannel.faults.
+        #: FaultInjector`), installed by the cluster when
+        #: ``MachineConfig.faults`` is set; ``None`` keeps every protocol
+        #: path exactly as it was.
+        self.injector = getattr(cluster, "fault_injector", None)
+        #: Whether injected faults can perturb write-notice delivery
+        #: (late, lost, or jittered past an acquire); gates the
+        #: wait-out/resync recovery in :meth:`_collect_notices` so
+        #: zero-rate configs stay byte-identical to ``faults=None``.
+        self._notice_faults = self.injector is not None and (
+            self.injector.faults.notice_delay_rate > 0.0
+            or self.injector.faults.notice_drop_rate > 0.0
+            or self.injector.faults.reorder_rate > 0.0)
+        #: Whether multi-step directory transactions mark their entry
+        #: Pending (transient state, Snippet 3 style). Only when faults
+        #: can actually fire: the staleness window Pending models is
+        #: only observable under injection, and fault-free runs must
+        #: stay byte-identical.
+        self._transients = self.injector is not None \
+            and self.injector.faults.active
 
         self.num_owners = self._owner_count()
         lock_model = None if lock_free else DirectoryLockModel(self.config)
@@ -112,6 +132,9 @@ class BaseProtocol:
                        for o in range(self.num_owners)]
         self.boards = [NoticeBoard(o, self.num_owners)
                        for o in range(self.num_owners)]
+        if self.injector is not None:
+            for board in self.boards:
+                board.injector = self.injector
         self.requests = RequestEngine(cluster)
         self._init_masters()
 
@@ -286,6 +309,53 @@ class BaseProtocol:
             word.perm = perm
             self._charge_dir_update(proc)
 
+    def _await_not_pending(self, proc: Processor, entry) -> None:
+        """Timeout path for transient (Pending) directory state.
+
+        Under fault injection a multi-step directory transaction (an
+        exclusive break, a relocation) marks its entry pending until the
+        final write is globally visible. A requester that reads the
+        pending state must not act on the half-updated entry; it waits
+        out the window — bounded by ``pending_until``, so this is a
+        timeout, not an unbounded spin — and then proceeds against the
+        settled entry. Never fires on fault-free runs (``pending_until``
+        stays 0). This is the one sanctioned reader of raw
+        ``pending_until`` (lint rule F101).
+        """
+        if entry.pending_until > proc.clock:
+            proc.charge(entry.pending_until - proc.clock, "comm_wait")
+            proc.stats.bump("pending_waits")
+
+    def _collect_notices(self, proc: Processor, board) -> tuple[list, bool]:
+        """Collect this owner's visible write notices at an acquire.
+
+        The fault-free path is exactly ``board.collect(clock)``. Under
+        notice-affecting fault injection the releaser's per-bin notice
+        counts ride on the (lock-ordered) release word, so the acquirer
+        can tell that notices are still in flight and wait them out
+        (late deliveries), and can see a sequence gap where a payload
+        was lost. Returns ``(notices, gap_seen)``; the caller performs
+        the conservative resynchronization when ``gap_seen``.
+        """
+        notices = board.collect(proc.clock)
+        if not self._notice_faults:
+            return notices, False
+        lost = any(wn.lost for wn in notices)
+        stalled = False
+        while board.pending():
+            deadline = max(b[0].visible_at for b in board.bins if b)
+            if deadline > proc.clock:
+                stalled = True
+                proc.charge(deadline - proc.clock, "comm_wait")
+            extra = board.collect(proc.clock)
+            if not extra:
+                break
+            lost = lost or any(wn.lost for wn in extra)
+            notices = list(notices) + extra
+        if stalled:
+            proc.stats.bump("notice_stalls")
+        return notices, lost
+
     def _notices_pending(self, owner: int, page: int) -> bool:
         """Any write notice for ``page`` queued at this owner (even one
         still in flight)?
@@ -293,10 +363,12 @@ class BaseProtocol:
         Exclusive mode must not be entered with a notice pending: the
         holder's copy would be stale, and the eventual full-page break
         flush would clobber the newer master words the notice announced.
+        A *lost* notice (injected gap) counts for every page — the page
+        number never arrived, so the owner must assume the worst.
         """
         for bin_ in self.boards[owner].bins:
             for wn in bin_:
-                if wn.page == page:
+                if wn.lost or wn.page == page:
                     return True
         node = self.node_of_owner(owner)
         for peer in node.processors:
@@ -372,6 +444,10 @@ class BaseProtocol:
         e.home_owner = new_home
         # The home id lives in every directory word; one broadcast update.
         self._charge_dir_update(proc)
+        if self._transients:
+            # The relocation rewrites every word of the entry; Pending
+            # until the broadcast settles (transient state, DESIGN §12).
+            e.set_pending(self.mc.visibility(proc.clock))
         if self.trace is not None:
             self.trace.instant("relocation", proc, proc.clock, obj=page,
                                old_home=old_home, new_home=new_home)

@@ -131,6 +131,7 @@ class Cashmere2L(BaseProtocol):
         self.maybe_relocate_home(proc, page)
 
         entry = self.directory.entry(page)
+        self._await_not_pending(proc, entry)
         my_word = entry.words[st.owner]
 
         # Already exclusive on this node: map with no protocol overhead.
@@ -150,7 +151,8 @@ class Cashmere2L(BaseProtocol):
         can_go_exclusive = (not has_other_sharer and holder is None
                             and meta.twin is None
                             and not self.tables[st.owner].writers(page)
-                            and not self._notices_pending(st.owner, page))
+                            and not self._notices_pending(st.owner, page)
+                            and not entry.is_pending(proc.clock))
         if can_go_exclusive:
             entry.set_excl(st.owner, proc.global_id)
             my_word.perm = Perm.WRITE
@@ -188,6 +190,7 @@ class Cashmere2L(BaseProtocol):
         """Fetch a fresh copy from the home node when the local copy is
         missing or stale by the timestamp rule of Section 2.4.1."""
         entry = self.directory.entry(page)
+        self._await_not_pending(proc, entry)
         home = entry.home_owner
 
         # An exclusive holding elsewhere always forces a break, even for
@@ -332,6 +335,13 @@ class Cashmere2L(BaseProtocol):
         payload, done = self.requests.explicit_request(
             proc, self.node_of_owner(holder_owner), handler,
             target_proc=holder_proc_id, category="page")
+        if self._transients:
+            # The break rewrites the directory in several ordered word
+            # writes; mark the entry Pending until the last of them is
+            # globally visible so concurrent requesters take the
+            # timeout path instead of acting on a half-updated entry.
+            self.directory.entry(page).set_pending(
+                done + self.costs.mc_latency)
         if done > proc.clock:
             proc.charge(done - proc.clock, "comm_wait")
         if self.trace is not None:
@@ -354,7 +364,10 @@ class Cashmere2L(BaseProtocol):
         if self.directory.lock_model is not None and board.pending():
             proc.charge(self.directory.lock_model.update_cost(proc.clock),
                         "protocol")
-        for wn in board.collect(proc.clock):
+        notices, gap = self._collect_notices(proc, board)
+        for wn in notices:
+            if wn.lost:
+                continue  # a gap, not a page number; handled below
             meta = ns.meta_for(wn.page)
             meta.wn_ts = ns.logical
             targets = table.mapped(wn.page)
@@ -362,6 +375,8 @@ class Cashmere2L(BaseProtocol):
                 peer = self.node_of_owner(st.owner).processors[lp]
                 if self._ps[peer.global_id].notices.add(wn.page):
                     proc.charge(costs.llsc_lock, "protocol")
+        if gap:
+            self._recover_lost_notices(proc, st, ns)
 
         st.acquire_ts = ns.logical
 
@@ -370,6 +385,41 @@ class Cashmere2L(BaseProtocol):
             if meta.update_ts < meta.wn_ts:
                 self._invalidate_mapping(proc, st, page)
         proc.charge(costs.llsc_lock, "protocol")  # drain under local lock
+
+    def _recover_lost_notices(self, proc: Processor, st: ProcProtoState,
+                              ns: NodeState2L) -> None:
+        """Conservative resynchronization after a write-notice gap.
+
+        A lost notice carries no page number, so every page this node
+        shares may be the stale one. Treat them *all* as noticed: mark
+        the write-notice timestamp and queue per-processor notices for
+        every mapped, non-home, non-exclusive page, so the normal
+        timestamp rule refetches each on its next access. Sound (it
+        can only invalidate more than strictly necessary), and dirty
+        pages keep their twins, so local modifications survive the
+        refetch via the usual incoming diff.
+        """
+        proc.stats.bump("notice_resyncs")
+        # One pass over the local replicated directory copy.
+        proc.charge(self.directory.update_cost(proc), "protocol")
+        table = self.tables[st.owner]
+        node = self.node_of_owner(st.owner)
+        costs = self.costs
+        for page in range(self.config.num_pages):
+            entry = self.directory.entry(page)
+            if entry.home_owner == st.owner:
+                continue  # home works on the master copy, never stale
+            if entry.words[st.owner].excl_holder != NO_HOLDER:
+                continue  # our exclusive copy is the freshest there is
+            targets = table.mapped(page)
+            if not targets:
+                continue
+            meta = ns.meta_for(page)
+            meta.wn_ts = ns.logical
+            for lp in targets:
+                peer = node.processors[lp]
+                if self._ps[peer.global_id].notices.add(page):
+                    proc.charge(costs.llsc_lock, "protocol")
 
     def _invalidate_mapping(self, proc: Processor, st: ProcProtoState,
                             page: int) -> None:

@@ -59,6 +59,26 @@ class DirEntry:
     #: use (``excl_known``), so entries built with pre-set words agree.
     excl: "tuple[int, int] | None" = None
     excl_known: bool = False
+    #: Transient (Pending) state, FLASH-style (SNIPPETS.md Snippet 3):
+    #: under fault injection, a transaction that rewrites this entry in
+    #: multiple ordered steps (an exclusive-mode break, a home
+    #: relocation) marks the entry pending until its final write is
+    #: globally visible. Concurrent requesters that *read* the pending
+    #: state must take the timeout path (wait out the window, then
+    #: retry; see ``BaseProtocol._await_not_pending``) instead of acting
+    #: on a half-updated entry. Never set on fault-free runs — the
+    #: window that makes it observable only opens under injected
+    #: reordering — so clean executions are untouched.
+    pending_until: float = 0.0
+
+    def is_pending(self, at: float) -> bool:
+        """Whether the entry is mid-transaction at simulated time ``at``."""
+        return at < self.pending_until
+
+    def set_pending(self, until: float) -> None:
+        """Open (or extend) the transient window to time ``until``."""
+        if until > self.pending_until:
+            self.pending_until = until
 
     def sharers(self) -> list[int]:
         """Owners whose loosest permission is READ or better."""

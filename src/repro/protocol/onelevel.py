@@ -191,6 +191,7 @@ class OneLevelProtocol(BaseProtocol):
     def _break_if_exclusive_elsewhere(self, proc: Processor,
                                       st: ProcProtoState, page: int) -> None:
         entry = self.directory.entry(page)
+        self._await_not_pending(proc, entry)
         holder = entry.exclusive_holder()
         if holder is not None and holder[0] != st.owner:
             self._break_exclusive(proc, page, holder)
@@ -208,6 +209,7 @@ class OneLevelProtocol(BaseProtocol):
                      page: int) -> None:
         proc.charge(self.costs.fetch_overhead, "protocol")
         entry = self.directory.entry(page)
+        self._await_not_pending(proc, entry)
         holder = entry.exclusive_holder()
         if holder is not None and holder[0] != st.owner:
             payload = self._break_exclusive(proc, page, holder)
@@ -290,6 +292,11 @@ class OneLevelProtocol(BaseProtocol):
         payload, done = self.requests.explicit_request(
             proc, self.node_of_owner(holder_owner), handler,
             target_proc=holder_owner, category="page")
+        if self._transients:
+            # Mark the entry Pending until the break's directory
+            # rewrite is globally visible (see Cashmere2L counterpart).
+            self.directory.entry(page).set_pending(
+                done + self.costs.mc_latency)
         if done > proc.clock:
             proc.charge(done - proc.clock, "comm_wait")
         if self.trace is not None:
@@ -302,13 +309,17 @@ class OneLevelProtocol(BaseProtocol):
     def acquire_sync(self, proc: Processor) -> None:
         st = self._ps[proc.global_id]
         board = self.boards[st.owner]
-        notices = board.collect(proc.clock)
+        notices, gap = self._collect_notices(proc, board)
         if notices:
             # 1-level write-notice lists are guarded by cluster-wide locks.
             proc.charge(self.costs.mc_lock_overhead + self.costs.mc_latency,
                         "protocol")
         for wn in notices:
+            if wn.lost:
+                continue  # a gap, not a page number; handled below
             st.notices.add(wn.page)
+        if gap:
+            self._recover_lost_notices(proc, st)
         for page in st.notices.drain():
             if self._uses_master(st, page):
                 continue  # home-node optimization: master is always fresh
@@ -321,6 +332,29 @@ class OneLevelProtocol(BaseProtocol):
             self._set_node_perm_word(proc, page, Perm.INVALID)
             if page not in self.meta[st.owner].twins:
                 self.frames.unmap_frame(st.owner, page)
+
+    def _recover_lost_notices(self, proc: Processor,
+                              st: ProcProtoState) -> None:
+        """Conservative resync after a write-notice sequence gap.
+
+        A lost notice carries no page number, so every page this processor
+        could be caching stale is treated as noticed: anything currently
+        mapped with read/write permission that is neither the master copy
+        (home-node optimization — always fresh) nor held exclusively by us.
+        The directory re-read is charged like one directory update.
+        """
+        proc.stats.bump("notice_resyncs")
+        proc.charge(self.directory.update_cost(proc), "protocol")
+        table = self.tables[st.owner]
+        for page in range(self.config.num_pages):
+            if table.perm(page, 0) == Perm.INVALID:
+                continue
+            if self._uses_master(st, page):
+                continue
+            entry = self.directory.entry(page)
+            if entry.words[st.owner].excl_holder != NO_HOLDER:
+                continue  # we hold it exclusively; nobody else wrote it
+            st.notices.add(page)
 
     # ------------------------------------------------------------ release side
 
@@ -391,7 +425,8 @@ class OneLevelProtocol(BaseProtocol):
             # write notice disqualifies it: our copy would be stale.
             word = entry.words[st.owner]
             if (word.excl_holder == NO_HOLDER
-                    and not self._notices_pending(st.owner, page)):
+                    and not self._notices_pending(st.owner, page)
+                    and not entry.is_pending(proc.clock)):
                 entry.set_excl(st.owner, proc.global_id)
                 self._charge_dir_update(proc)
                 proc.stats.bump("excl_transitions")

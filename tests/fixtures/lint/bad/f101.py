@@ -1,0 +1,15 @@
+"""F101: protocol handlers acting on transient (Pending) directory
+state without the bounded timeout path."""
+
+
+def fetch_page(proc, entry):
+    # Raw read of the transient deadline outside _await_not_pending.
+    if entry.pending_until > proc.clock:
+        return None
+    return entry
+
+
+def spin_until_settled(proc, entry):
+    # Unbounded poll: the bounded wait is _await_not_pending().
+    while entry.is_pending(proc.clock):
+        proc.charge(1.0, "comm_wait")

@@ -1,0 +1,16 @@
+"""F101 clean: transient directory state reached only through the
+sanctioned paths — the bounded wait, or a conservative guard."""
+
+
+class Handler:
+    def _await_not_pending(self, proc, entry):
+        # The one sanctioned reader of raw pending_until: it waits the
+        # bounded window out and returns against a settled entry.
+        if entry.pending_until > proc.clock:
+            proc.charge(entry.pending_until - proc.clock, "comm_wait")
+
+    def fetch_page(self, proc, entry):
+        self._await_not_pending(proc, entry)
+        if entry.is_pending(proc.clock):  # a guard, not a wait
+            return None
+        return entry

@@ -194,7 +194,9 @@ def test_repo_tree_is_clean():
     result = run([os.path.join(REPO, "src", "repro"),
                   os.path.join(REPO, "examples")])
     assert result.diagnostics == [], result.format_text()
-    # The two audited suppressions in apps/water.py (see the comment
-    # there and tests/test_lint_vs_detector.py for the dynamic proof).
-    assert len(result.suppressed) == 2
-    assert {d.rule for d in result.suppressed} == {"A004"}
+    # The three audited suppressions: two A004 in apps/water.py (see the
+    # comment there and tests/test_lint_vs_detector.py for the dynamic
+    # proof) and one F101 in check/explore.py (state_key hashes the
+    # transient deadline instead of acting on it).
+    assert len(result.suppressed) == 3
+    assert {d.rule for d in result.suppressed} == {"A004", "F101"}
