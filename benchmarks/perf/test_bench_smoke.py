@@ -23,8 +23,10 @@ EXPECTED = {"access", "fault_storm", "barrier", "sor32", "water32",
 def test_quick_bench_report_shape():
     report = run_bench(quick=True, baseline_path=_BASELINE)
     data = report.to_json()
-    assert data["schema"] == "cashmere-bench-1"
+    assert data["schema"] == "cashmere-bench-2"
     assert data["quick"] is True
+    assert isinstance(data["fastpath"], bool)
+    assert "jobs" in data
     assert set(data["benchmarks"]) == EXPECTED
     for name, entry in data["benchmarks"].items():
         assert entry["wall_s"] > 0, name
@@ -34,6 +36,8 @@ def test_quick_bench_report_shape():
     # The cache-warm sweep ran zero simulations (all cells cached) and
     # is far cheaper than the cold serial sweep.
     assert data["benchmarks"]["sweep_warm"]["executed"] == 0
+    assert data["benchmarks"]["sweep_warm"]["misses"] == 0
+    assert data["benchmarks"]["sweep_warm"]["hits"] > 0
     assert data["benchmarks"]["sweep_warm"]["wall_s"] < \
         0.5 * data["benchmarks"]["sweep_serial"]["wall_s"]
     # Baseline loaded and compared.

@@ -29,8 +29,8 @@ from .config import (CostModel, MachineConfig, PLACEMENTS, Protocol,
 from .errors import (CashmereError, CoherenceViolation, ConfigError,
                      DataRaceError, DeadlockError, MemoryChannelError,
                      ProtocolError, SimulationError, UnknownCounterError)
-from .runtime import (ComparisonResult, RunResult, checking, run_and_verify,
-                      run_app, run_sequential, tracing)
+from .runtime import (ComparisonResult, RunResult, checking, metering,
+                      run_and_verify, run_app, run_sequential, tracing)
 from .stats import RunStats
 
 __version__ = "1.0.0"
@@ -39,6 +39,7 @@ __all__ = [
     "MachineConfig", "CostModel", "Protocol", "PLACEMENTS",
     "placement_config",
     "run_app", "run_and_verify", "run_sequential", "checking", "tracing",
+    "metering",
     "RunResult", "ComparisonResult", "RunStats",
     "CashmereError", "ConfigError", "ProtocolError", "SimulationError",
     "DeadlockError", "MemoryChannelError", "DataRaceError",

@@ -311,6 +311,17 @@ class MachineConfig:
     #: (the default) executes exactly the fault-free code paths; a
     #: zero-rate :class:`FaultConfig` is byte-identical to ``None``.
     faults: FaultConfig | None = None
+    #: Opt-in time-series metrics sampling (:mod:`repro.metrics`): a
+    #: collector polls directory occupancy, page-state histograms,
+    #: Memory Channel bandwidth, request-queue depths, and fast-path
+    #: (software TLB) hit rates at fixed simulated-time intervals, and
+    #: records deltas of the protocol counters between samples. Like
+    #: ``checking``/``tracing``, strictly observational: a metered run
+    #: produces byte-identical statistics and results to an unmetered
+    #: one (``tests/test_metrics.py`` asserts this under all four
+    #: protocols), and the sampled series are themselves deterministic —
+    #: the same run recorded twice yields identical series.
+    metrics: bool = False
     costs: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:

@@ -51,13 +51,17 @@ from ..config import MachineConfig
 from ..apps import make_app
 from ..cluster.machine import Cluster
 from ..protocol import make_protocol
+from ..runtime.api import fastpath_enabled
 from ..runtime.env import WorkerEnv
 from ..runtime.program import ParallelRuntime, run_app
 from ..sim.process import Charge, ProcessGroup
 from ..sync.barrier import Barrier
 
-#: Schema tag written into every BENCH_*.json.
-SCHEMA = "cashmere-bench-1"
+#: Schema tag written into every BENCH_*.json. Bumped to 2 when the
+#: report gained ``fastpath``/``jobs`` environment provenance and the
+#: cache-warm sweep's hit/miss counts; the metrics store
+#: (:mod:`repro.metrics.store`) ingests both schemas.
+SCHEMA = "cashmere-bench-2"
 
 #: CI regression gate: fail when the access microbenchmark is more than
 #: this factor slower than the committed baseline.
@@ -114,6 +118,10 @@ class BenchReport:
             "numpy": np.__version__,
             "platform": platform.platform(),
             "quick": self.quick,
+            # Schema 2: the two environment knobs that change what the
+            # timed code actually executes.
+            "fastpath": fastpath_enabled(MachineConfig()),
+            "jobs": os.environ.get("CASHMERE_JOBS") or None,
             "benchmarks": benchmarks,
         }
         if self.baseline is not None:
@@ -320,7 +328,8 @@ def bench_sweep(quick: bool = False) -> list[BenchResult]:
         wall = _best_of(lambda: run_cells(specs, warm), 3)
         results.append(BenchResult(
             "sweep_warm", wall, 3,
-            extra=dict(extra, jobs=1, executed=warm.stats.executed)))
+            extra=dict(extra, jobs=1, executed=warm.stats.executed,
+                       hits=warm.stats.hits, misses=warm.stats.misses)))
     return results
 
 

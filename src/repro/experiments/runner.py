@@ -18,6 +18,7 @@ Usage (installed as ``cashmere-repro``)::
     cashmere-repro lint    [PATHS ...] [--select RULES] [--format json]
     cashmere-repro modelcheck [PROTO ...] [--budget N] [--mutant NAME]
                               [--out counterexample.json]
+    cashmere-repro metrics {bench,run,import,list,report,html} ...
 
 Every table/figure/ablation experiment runs through the sweep engine
 (:mod:`repro.experiments.sweep`): ``-j/--jobs N`` (or ``CASHMERE_JOBS``)
@@ -53,6 +54,14 @@ barrier imbalance, Memory Channel timeline). ``--faults SEED`` runs
 either under deterministic fault injection
 (``FaultConfig.demo(SEED)``; DESIGN.md §12) so the injected stalls,
 retries, and recoveries appear on the timeline.
+
+``metrics`` manages the sqlite-backed run store and its trend/regression
+dashboard (:mod:`repro.metrics`): ``metrics bench`` runs and ingests the
+wall-clock suite, ``metrics run APP`` records a sampled time-series
+simulation, ``metrics import`` ingests committed ``BENCH_*.json``
+history, ``metrics report`` prints counter trends and exits 1 on a gated
+wall-clock regression, and ``metrics html`` writes a self-contained
+dashboard. See ``cashmere-repro metrics --help``.
 
 ``modelcheck`` explores *every* interleaving of a small fixed workload
 (2 nodes x 2 processors x 2 pages) through the real protocol code and
@@ -145,6 +154,14 @@ def run_lint(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "metrics":
+        # The metrics family has its own subparser tree (with option
+        # names that collide with ours, e.g. --out), so dispatch before
+        # the main parser sees it.
+        from ..metrics.cli import main as metrics_main
+        return metrics_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="cashmere-repro",
         description="Regenerate the Cashmere-2L paper's tables and figures "

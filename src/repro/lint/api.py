@@ -124,7 +124,7 @@ def lint_source(source: str, display: str,
                f"file could not be parsed: {exc.msg}")
         return active, suppressed
     check_app(tree, report)
-    check_determinism(tree, os.path.basename(display), report)
+    check_determinism(tree, display, report)
     check_faultpaths(tree, report)
     return active, suppressed
 

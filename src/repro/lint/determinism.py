@@ -9,7 +9,9 @@ silently break that contract:
 * **D101** wall-clock reads (``time.time``, ``perf_counter``,
   ``datetime.now``, ...) outside the sanctioned modules
   (:data:`~repro.lint.rules.SANCTIONED_MODULES` — the audited
-  bench/sweep/config entry points that deal in real time by design).
+  bench/sweep/config entry points that deal in real time by design —
+  and :data:`~repro.lint.rules.SANCTIONED_PACKAGES` — the metrics
+  store, which timestamps ingests but never simulation).
 * **D102** the process-global RNG (``random.random``,
   ``numpy.random.rand``, ...) or an unseeded generator construction
   (``random.Random()`` / ``numpy.random.default_rng()`` with no
@@ -34,10 +36,25 @@ from __future__ import annotations
 import ast
 from typing import Callable
 
-from .rules import SANCTIONED_MODULES
+from .rules import SANCTIONED_MODULES, SANCTIONED_PACKAGES
 
 #: report(rule, line, col, message)
 Reporter = Callable[[str, int, int, str], None]
+
+
+def is_sanctioned(display: str) -> bool:
+    """May this file read wall clock / environment?
+
+    ``display`` is the path as the linter shows it (platform
+    separators allowed). A file qualifies by basename
+    (:data:`SANCTIONED_MODULES`) or by living under a sanctioned
+    package directory (:data:`SANCTIONED_PACKAGES`).
+    """
+    norm = display.replace("\\", "/")
+    base = norm.rsplit("/", 1)[-1]
+    if base in SANCTIONED_MODULES:
+        return True
+    return any(f"/{pkg}/" in f"/{norm}" for pkg in SANCTIONED_PACKAGES)
 
 _WALL_CLOCK = frozenset({
     "time.time", "time.time_ns",
@@ -89,8 +106,8 @@ _CTOR_METHODS = frozenset({
 class DeterminismChecker(ast.NodeVisitor):
     """One file's worth of determinism checks."""
 
-    def __init__(self, basename: str, report: Reporter) -> None:
-        self.sanctioned = basename in SANCTIONED_MODULES
+    def __init__(self, display: str, report: Reporter) -> None:
+        self.sanctioned = is_sanctioned(display)
         self.report = report
         #: import alias -> canonical module path ("np" -> "numpy")
         self.modules: dict[str, str] = {}
@@ -313,7 +330,11 @@ class DeterminismChecker(ast.NodeVisitor):
                 f"derive a new spec")
 
 
-def check_determinism(tree: ast.AST, basename: str,
+def check_determinism(tree: ast.AST, display: str,
                       report: Reporter) -> None:
-    """Run the determinism checks over one parsed file."""
-    DeterminismChecker(basename, report).check(tree)
+    """Run the determinism checks over one parsed file.
+
+    ``display`` is the file's displayed path (not just the basename),
+    so package-level sanctioning can match directory membership.
+    """
+    DeterminismChecker(display, report).check(tree)

@@ -101,3 +101,11 @@ RULES: dict[str, Rule] = {r.id: r for r in _ALL_RULES}
 #: Module basenames in which wall-clock and environment reads are
 #: sanctioned (the audited entry points; see DESIGN.md §11).
 SANCTIONED_MODULES = frozenset({"bench.py", "sweep.py", "config.py"})
+
+#: Sanctioned *packages*, matched against the file's displayed path
+#: (forward-slash segments): every module under these directories may
+#: read wall clock and environment. ``repro/metrics`` qualifies because
+#: the run store stamps ingestion timestamps and resolves its database
+#: path from the environment — at ingest time only, never during
+#: simulation (the collector itself reads neither).
+SANCTIONED_PACKAGES = frozenset({"repro/metrics"})

@@ -135,6 +135,15 @@ class MemoryChannel:
 
     # --- accounting ----------------------------------------------------------
 
+    def bandwidth_snapshot(self) -> tuple[float, dict[str, int]]:
+        """Cumulative link busy time (us) and per-category traffic bytes.
+
+        The metrics collector polls this at each sampling boundary and
+        differences consecutive snapshots into bandwidth-utilization and
+        bytes-per-interval series. Read-only.
+        """
+        return self.links.busy_time, dict(self.traffic)
+
     def account(self, category: str, nbytes: int) -> None:
         self.traffic[category] = self.traffic.get(category, 0) + nbytes
 

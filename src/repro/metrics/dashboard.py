@@ -1,0 +1,252 @@
+"""Trend and regression views over a :class:`~repro.metrics.store.RunStore`.
+
+Two renderings of the same analysis:
+
+* :class:`TrendReport` — a terminal table: every counter shared by at
+  least two runs of the same kind, its value trajectory across runs
+  (with a unicode sparkline), the latest-vs-previous delta, and a
+  verdict. Wall-clock counters (``*.wall_s``) gate: latest worse than
+  ``gate_factor`` x previous fails the report (exit code 1 on the CLI),
+  which is how CI consumes it.
+* :func:`render_html` — a self-contained dashboard (inline SVG line
+  charts, no external assets): the trend table plus the sampled time
+  series of the most recent metered simulation runs.
+
+Both read only the store; neither runs simulations.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+
+from .store import RunStore
+
+#: Latest/previous ratio above which a wall-clock counter is a regression.
+DEFAULT_GATE_FACTOR = 2.0
+
+#: Sparkline glyph ramp (min -> max over the counter's trajectory).
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """A one-cell-per-value unicode trend glyph string."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARKS[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _SPARKS[min(len(_SPARKS) - 1,
+                    int((v - lo) / span * len(_SPARKS)))]
+        for v in values)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+class Trend:
+    """One counter's trajectory across the compared runs."""
+
+    def __init__(self, name: str, values: list[float]) -> None:
+        self.name = name
+        self.values = values
+
+    @property
+    def latest(self) -> float:
+        return self.values[-1]
+
+    @property
+    def previous(self) -> float:
+        return self.values[-2]
+
+    @property
+    def ratio(self) -> float | None:
+        """latest / previous, or None when previous is zero."""
+        if self.previous == 0:
+            return None
+        return self.latest / self.previous
+
+    def gates(self) -> bool:
+        """Does this counter participate in the regression gate?"""
+        return self.name.endswith(".wall_s")
+
+    def regressed(self, factor: float) -> bool:
+        return (self.gates() and self.ratio is not None
+                and self.ratio > factor)
+
+
+class TrendReport:
+    """Counter trends across every run of one kind, oldest to newest."""
+
+    def __init__(self, store: RunStore, kind: str = "bench", *,
+                 gate_factor: float = DEFAULT_GATE_FACTOR) -> None:
+        self.kind = kind
+        self.gate_factor = gate_factor
+        self.runs = store.runs(kind=kind)
+        self.counters = {run["id"]: store.counters(run["id"])
+                         for run in self.runs}
+        self.trends: list[Trend] = []
+        if len(self.runs) >= 2:
+            shared = set(self.counters[self.runs[0]["id"]])
+            for run in self.runs[1:]:
+                shared &= set(self.counters[run["id"]])
+            for name in sorted(shared):
+                self.trends.append(Trend(name, [
+                    self.counters[run["id"]][name] for run in self.runs]))
+
+    def regressions(self) -> list[Trend]:
+        return [t for t in self.trends if t.regressed(self.gate_factor)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions()
+
+    def format(self) -> str:
+        lines = [f"Trend report: {len(self.runs)} {self.kind} run(s), "
+                 f"gate {self.gate_factor:g}x on *.wall_s"]
+        if not self.runs:
+            lines.append("  (store has no runs of this kind)")
+            return "\n".join(lines)
+        for run in self.runs:
+            lines.append(f"  #{run['id']:<3d} {run['label']:30s} "
+                         f"{run['ingested_at']}  [{run['schema_version']}]")
+        if len(self.runs) < 2:
+            lines.append("  (need two runs to compare; ingest another)")
+            return "\n".join(lines)
+        lines.append("")
+        width = max((len(t.name) for t in self.trends), default=4)
+        lines.append(f"  {'counter':{width}s} {'previous':>12s} "
+                     f"{'latest':>12s} {'ratio':>7s}  trend")
+        for t in self.trends:
+            ratio = "-" if t.ratio is None else f"{t.ratio:.2f}x"
+            verdict = ""
+            if t.regressed(self.gate_factor):
+                verdict = "  << REGRESSED"
+            elif t.gates() and t.ratio is not None and t.ratio < 1 \
+                    / self.gate_factor:
+                verdict = "  (improved)"
+            lines.append(f"  {t.name:{width}s} {_fmt(t.previous):>12s} "
+                         f"{_fmt(t.latest):>12s} {ratio:>7s}  "
+                         f"{sparkline(t.values)}{verdict}")
+        bad = self.regressions()
+        lines.append("")
+        if bad:
+            lines.append(f"REGRESSIONS: {len(bad)} gated counter(s) worse "
+                         f"than {self.gate_factor:g}x previous:")
+            for t in bad:
+                lines.append(f"  {t.name}: {_fmt(t.previous)} -> "
+                             f"{_fmt(t.latest)} ({t.ratio:.2f}x)")
+        else:
+            lines.append("no gated regressions")
+        return "\n".join(lines)
+
+
+# --- HTML ---------------------------------------------------------------------
+
+
+def _svg_line(times: list[float], values: list[float], *,
+              width: int = 640, height: int = 120) -> str:
+    """A minimal inline SVG polyline chart of one metric series."""
+    if not times:
+        return "<svg/>"
+    t0, t1 = times[0], times[-1]
+    lo, hi = min(values), max(values)
+    tspan = (t1 - t0) or 1.0
+    vspan = (hi - lo) or 1.0
+    pad = 4
+    points = " ".join(
+        f"{pad + (t - t0) / tspan * (width - 2 * pad):.1f},"
+        f"{height - pad - (v - lo) / vspan * (height - 2 * pad):.1f}"
+        for t, v in zip(times, values))
+    return (f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+            f'height="{height}" style="background:#fafafa;'
+            f'border:1px solid #ddd">'
+            f'<polyline fill="none" stroke="#27697a" stroke-width="1.5" '
+            f'points="{points}"/>'
+            f'<text x="{pad}" y="12" font-size="10" fill="#777">'
+            f'max {_fmt(hi)}</text>'
+            f'<text x="{pad}" y="{height - 6}" font-size="10" '
+            f'fill="#777">min {_fmt(lo)}</text></svg>')
+
+
+def render_html(store: RunStore, *, gate_factor: float =
+                DEFAULT_GATE_FACTOR, max_series_runs: int = 3) -> str:
+    """The whole dashboard as one self-contained HTML document."""
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        "<title>cashmere-repro metrics</title><style>",
+        "body{font-family:sans-serif;margin:2em;color:#222}",
+        "table{border-collapse:collapse;margin:1em 0}",
+        "td,th{border:1px solid #ccc;padding:3px 9px;font-size:13px;"
+        "text-align:right}",
+        "td:first-child,th:first-child{text-align:left;"
+        "font-family:monospace}",
+        ".bad{background:#fdd}.good{background:#dfd}",
+        "h2{margin-top:1.6em}</style></head><body>",
+        "<h1>cashmere-repro metrics dashboard</h1>",
+    ]
+    for kind in ("bench", "run"):
+        report = TrendReport(store, kind=kind, gate_factor=gate_factor)
+        if not report.runs:
+            continue
+        parts.append(f"<h2>{kind} runs</h2><table><tr><th>id</th>"
+                     "<th>label</th><th>app</th><th>protocol</th>"
+                     "<th>schema</th><th>ingested</th></tr>")
+        for run in report.runs:
+            parts.append(
+                "<tr>" + "".join(
+                    f"<td>{html.escape(str(run[c] or ''))}</td>"
+                    for c in ("id", "label", "app", "protocol",
+                              "schema_version", "ingested_at")) + "</tr>")
+        parts.append("</table>")
+        if report.trends:
+            parts.append("<table><tr><th>counter</th><th>previous</th>"
+                         "<th>latest</th><th>ratio</th><th>trend</th></tr>")
+            for t in report.trends:
+                cls = ""
+                if t.regressed(gate_factor):
+                    cls = " class='bad'"
+                elif t.gates() and t.ratio is not None \
+                        and t.ratio < 1 / gate_factor:
+                    cls = " class='good'"
+                ratio = "-" if t.ratio is None else f"{t.ratio:.2f}x"
+                parts.append(
+                    f"<tr{cls}><td>{html.escape(t.name)}</td>"
+                    f"<td>{_fmt(t.previous)}</td><td>{_fmt(t.latest)}</td>"
+                    f"<td>{ratio}</td><td style='font-family:monospace'>"
+                    f"{sparkline(t.values)}</td></tr>")
+            parts.append("</table>")
+            bad = report.regressions()
+            if bad:
+                parts.append(f"<p class='bad'><b>{len(bad)} gated "
+                             f"regression(s)</b> (&gt; {gate_factor:g}x "
+                             "previous).</p>")
+            else:
+                parts.append("<p>No gated regressions.</p>")
+    sim_runs = store.runs(kind="run")[-max_series_runs:]
+    for run in sim_runs:
+        names = store.series_names(run["id"])
+        if not names:
+            continue
+        parts.append(f"<h2>series: #{run['id']} "
+                     f"{html.escape(run['label'])}</h2>")
+        manifest = store.manifest(run["id"])
+        parts.append("<p style='font-family:monospace;font-size:12px'>"
+                     + html.escape(json.dumps(
+                         {k: manifest[k] for k in
+                          ("app", "protocol", "nodes", "procs_per_node",
+                           "interval_us") if k in manifest})) + "</p>")
+        for name in names:
+            times, values = store.series(run["id"], name)
+            if len(times) < 2 or min(values) == max(values) == 0:
+                continue
+            parts.append(f"<h3 style='font-family:monospace;font-size:13px;"
+                         f"margin:0.8em 0 0.2em'>{html.escape(name)}</h3>")
+            parts.append(_svg_line(times, values))
+    parts.append("</body></html>")
+    return "".join(parts)

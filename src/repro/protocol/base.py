@@ -89,6 +89,12 @@ class BaseProtocol:
         #: Optional event tracer (:class:`repro.trace.Tracer`): when set,
         #: fault service and protocol actions are recorded as trace spans.
         self.trace = None
+        #: Optional metrics collector (:class:`repro.metrics.
+        #: MetricsCollector`): when set, the collector periodically polls
+        #: directory occupancy and the :meth:`metrics_gauges` hook. The
+        #: protocol never pushes into it — sampling is pull-based, so
+        #: the fast paths carry no metrics branches.
+        self.metrics = None
         #: Optional fault injector (:class:`repro.memchannel.faults.
         #: FaultInjector`), installed by the cluster when
         #: ``MachineConfig.faults`` is set; ``None`` keeps every protocol
@@ -483,6 +489,17 @@ class BaseProtocol:
     def _break_exclusive(self, proc: Processor, page: int,
                          holder: tuple[int, int]) -> np.ndarray:
         raise NotImplementedError
+
+    # --- metrics ---------------------------------------------------------------
+
+    def metrics_gauges(self, emit) -> None:
+        """Report protocol-specific gauges to the metrics collector.
+
+        ``emit(name, value)`` records one sample point; subclasses
+        override to expose their private state (twin counts, notice
+        backlogs). Called only when a collector is attached, so the
+        default no-op costs nothing on ordinary runs.
+        """
 
     # --- debugging / tests -----------------------------------------------------
 

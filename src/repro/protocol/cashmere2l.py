@@ -63,6 +63,16 @@ class Cashmere2L(BaseProtocol):
         super().__init__(cluster, lock_free=lock_free)
         self.node_state = [NodeState2L() for _ in range(self.num_owners)]
 
+    def metrics_gauges(self, emit) -> None:
+        """Two-level gauges: live twin count and write-notice backlog."""
+        twins = 0
+        for ns in self.node_state:
+            for meta in ns.meta.values():
+                if meta.twin is not None:
+                    twins += 1
+        emit("twins", twins)
+        emit("notice_backlog", sum(b.pending() for b in self.boards))
+
     # ------------------------------------------------------------------ hooks
 
     def _twin_of(self, owner: int, page: int) -> np.ndarray | None:

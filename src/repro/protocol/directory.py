@@ -165,6 +165,37 @@ class GlobalDirectory:
         """Wire bytes for one entry modification (word × replicas)."""
         return 4 * self.num_owners
 
+    def occupancy(self) -> tuple[list[int], list[int]]:
+        """Directory occupancy snapshot for the metrics collector.
+
+        Returns ``(per_owner, histogram)``: ``per_owner[i]`` counts the
+        pages owner *i* currently maps (its directory word says READ or
+        better), and ``histogram`` buckets every page by its loosest
+        cluster-wide state — ``[invalid, read, write, exclusive]``.
+        Read-only: one pass over the replicated words, no cached state.
+        """
+        per_owner = [0] * self.num_owners
+        histogram = [0, 0, 0, 0]
+        for entry in self.entries:
+            loosest = Perm.INVALID
+            exclusive = False
+            for owner, word in enumerate(entry.words):
+                if word.perm >= Perm.READ:
+                    per_owner[owner] += 1
+                if word.perm > loosest:
+                    loosest = word.perm
+                if word.excl_holder != NO_HOLDER:
+                    exclusive = True
+            if exclusive:
+                histogram[3] += 1
+            elif loosest >= Perm.WRITE:
+                histogram[2] += 1
+            elif loosest >= Perm.READ:
+                histogram[1] += 1
+            else:
+                histogram[0] += 1
+        return per_owner, histogram
+
 
 class DirectoryLockModel:
     """Section 3.3.5 ablation: a single cluster-wide directory lock.

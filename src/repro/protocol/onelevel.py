@@ -61,6 +61,15 @@ class OneLevelProtocol(BaseProtocol):
         super().__init__(cluster, lock_free=lock_free, home_opt=home_opt)
         self.meta = [_OwnerMeta() for _ in range(self.num_owners)]
 
+    def metrics_gauges(self, emit) -> None:
+        """One-level gauges: live twin count and write-notice backlog.
+
+        Always zero twins under 1L (write-through never twins); 1LD
+        reports the twins awaiting their outgoing diffs.
+        """
+        emit("twins", sum(len(m.twins) for m in self.meta))
+        emit("notice_backlog", sum(b.pending() for b in self.boards))
+
     # ------------------------------------------------------------- masters
 
     def _init_masters(self) -> None:

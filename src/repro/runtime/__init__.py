@@ -1,7 +1,7 @@
 """DSM runtime: shared segment, worker environment, program runners."""
 
 from .api import (SharedArray, SharedSegment, checking, checking_enabled,
-                  tracing, tracing_enabled)
+                  metering, metrics_enabled, tracing, tracing_enabled)
 from .env import WorkerEnv
 from .program import (ComparisonResult, ParallelRuntime, RunResult, run_app,
                       run_and_verify)
@@ -12,4 +12,5 @@ __all__ = [
     "ParallelRuntime", "RunResult", "ComparisonResult",
     "run_app", "run_and_verify", "run_sequential",
     "checking", "checking_enabled", "tracing", "tracing_enabled",
+    "metering", "metrics_enabled",
 ]

@@ -87,6 +87,43 @@ def tracing_enabled(config: MachineConfig) -> bool:
     return bool(config.tracing or _tracing_depth)
 
 
+#: Nesting depth of active :func:`metering` context managers. When
+#: positive, every :class:`~repro.runtime.ParallelRuntime` built attaches
+#: a metrics collector regardless of its config flag.
+_metering_depth = 0
+
+
+@contextlib.contextmanager
+def metering():
+    """Force metrics collection for all runtimes built in this scope.
+
+    The scoped equivalent of ``MachineConfig(metrics=True)``: any app,
+    example, or test that builds a :class:`~repro.runtime.ParallelRuntime`
+    inside the ``with`` block samples time-series metrics into a
+    :class:`~repro.metrics.MetricsCollector`, available afterwards as
+    ``result.metrics``::
+
+        with metering():
+            result = run_app(app, params, config, protocol="2L")
+        print(result.metrics.series["mc.util"])
+
+    (Named ``metering`` rather than ``metrics`` so the context manager
+    does not shadow the :mod:`repro.metrics` package.) Nesting is
+    allowed; collection stays on until the outermost block exits.
+    """
+    global _metering_depth
+    _metering_depth += 1
+    try:
+        yield
+    finally:
+        _metering_depth -= 1
+
+
+def metrics_enabled(config: MachineConfig) -> bool:
+    """Should a runtime built with ``config`` attach a metrics collector?"""
+    return bool(config.metrics or _metering_depth)
+
+
 def fastpath_enabled(config: MachineConfig) -> bool:
     """Should worker environments use the inline page-access cache?
 

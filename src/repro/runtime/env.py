@@ -85,6 +85,12 @@ class WorkerEnv:
         #: the equivalent ndarray ``__setitem__`` (no ufunc dispatch),
         #: and writes never need ndarray semantics on the destination.
         self._wcache: dict[int, memoryview] = {}
+        #: TLB hit/miss tally shared with the metrics collector — a
+        #: two-element ``[hits, misses]`` list bumped by the counting
+        #: closure variants below. None (and no counting code exists)
+        #: unless a collector is attached.
+        mcoll = getattr(runtime, "metrics", None)
+        self._tlb = None if mcoll is None else mcoll.tlb
         self._build_fastpaths()
 
     def _build_fastpaths(self) -> None:
@@ -162,6 +168,75 @@ class WorkerEnv:
                                 values, dtype=np.float64)
                         return
             slow_set_block(arr, lo, values)
+
+        if self._tlb is not None:
+            # Metrics attached: recompile the warm paths with inline
+            # hit/miss tallying into the collector's shared cell. A
+            # separate compilation (rather than a branch in the common
+            # closures) keeps the metrics-off path free of any counting
+            # code — same discipline as the observers themselves.
+            tlb = self._tlb
+
+            def get(arr: SharedArray, i: int) -> float:  # noqa: F811
+                w = arr.base + i
+                page = w >> shift
+                if rsnap[0] == rgen.value:
+                    frame = rcache.get(page)
+                    if frame is not None:
+                        tlb[0] += 1
+                        return frame[w & mask]
+                tlb[1] += 1
+                return cold_get(page, w & mask)
+
+            def set_(arr: SharedArray, i: int,  # noqa: F811
+                     value: float) -> None:
+                w = arr.base + i
+                page = w >> shift
+                if wsnap[0] == wgen.value:
+                    mv = wcache.get(page)
+                    if mv is not None:
+                        tlb[0] += 1
+                        mv[w & mask] = value
+                        return
+                tlb[1] += 1
+                cold_set(page, w & mask, value)
+
+            def get_block(arr: SharedArray, lo: int,  # noqa: F811
+                          hi: int) -> np.ndarray:
+                base = arr.base
+                w0 = base + lo
+                w1 = base + hi
+                if w0 < w1 and rsnap[0] == rgen.value:
+                    page = w0 >> shift
+                    if (w1 - 1) >> shift == page:
+                        frame = rcache.get(page)
+                        if frame is not None:
+                            tlb[0] += 1
+                            off = w0 & mask
+                            return frame[off:off + (w1 - w0)].copy()
+                tlb[1] += 1
+                return slow_get_block(arr, lo, hi)
+
+            def set_block(arr: SharedArray, lo: int,  # noqa: F811
+                          values: np.ndarray) -> None:
+                w = arr.base + lo
+                end = w + len(values)
+                if w < end and wsnap[0] == wgen.value:
+                    page = w >> shift
+                    if (end - 1) >> shift == page:
+                        mv = wcache.get(page)
+                        if mv is not None:
+                            tlb[0] += 1
+                            off = w & mask
+                            try:
+                                mv[off:off + (end - w)] = values
+                            except (ValueError, TypeError):
+                                mv[off:off + (end - w)] = \
+                                    np.ascontiguousarray(values,
+                                                         dtype=np.float64)
+                            return
+                tlb[1] += 1
+                slow_set_block(arr, lo, values)
 
         # Shadow the class methods on the instance; the class methods stay
         # as the (identical) general fallbacks.

@@ -24,9 +24,10 @@ from ..errors import ConfigError
 from ..protocol import make_protocol
 from ..stats.counters import RunStats
 from ..sync import Barrier, FlagSet, MCLock
+from ..metrics import MetricsCollector, attach_metrics
 from ..trace import Tracer, attach_tracer
 from .api import (SharedSegment, checking_enabled, fastpath_enabled,
-                  tracing_enabled)
+                  metrics_enabled, tracing_enabled)
 from .env import WorkerEnv
 from .sequential import run_sequential
 from ..sim.process import ProcessGroup
@@ -67,10 +68,17 @@ class ParallelRuntime:
         self.trace: Tracer | None = None
         if tracing_enabled(self.config):
             self.trace = attach_tracer(self.cluster, self.protocol)
-        #: Inline page-access cache switch, consulted by WorkerEnv. Both
-        #: the checker and the tracer are attached above, *before* run()
-        #: builds the worker environments, so each WorkerEnv sees the
-        #: final observer configuration when it decides on the fast path.
+        #: Metrics collector (:class:`repro.metrics.MetricsCollector`),
+        #: when enabled via ``config.metrics`` or ``runtime.api.metering()``.
+        self.metrics: MetricsCollector | None = None
+        if metrics_enabled(self.config):
+            self.metrics = attach_metrics(self.cluster, self.protocol,
+                                          tracer=self.trace)
+        #: Inline page-access cache switch, consulted by WorkerEnv. The
+        #: checker, tracer, and metrics collector are all attached above,
+        #: *before* run() builds the worker environments, so each
+        #: WorkerEnv sees the final observer configuration when it
+        #: decides on the fast path.
         self.fastpath = fastpath_enabled(self.config)
         self.segment = SharedSegment(self.config)
         app.declare(self.segment, params)
@@ -121,7 +129,12 @@ class ParallelRuntime:
                 app=self.app.name, protocol=self.protocol.name,
                 exec_time_us=exec_time, nodes=self.config.nodes,
                 procs_per_node=self.config.procs_per_node)
-        return RunResult(self, stats, trace=self.trace)
+        if self.metrics is not None:
+            self.metrics.finalize(
+                exec_time, app=self.app.name, protocol=self.protocol.name,
+                nodes=self.config.nodes,
+                procs_per_node=self.config.procs_per_node)
+        return RunResult(self, stats, trace=self.trace, metrics=self.metrics)
 
     # --- result extraction ------------------------------------------------------------
 
@@ -166,6 +179,8 @@ class RunResult:
     stats: RunStats
     #: The event trace of this run (None unless tracing was enabled).
     trace: Tracer | None = None
+    #: Sampled metric series (None unless metrics were enabled).
+    metrics: MetricsCollector | None = None
 
     def array(self, name: str) -> np.ndarray:
         return self.runtime.read_array(name)

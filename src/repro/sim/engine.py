@@ -47,6 +47,15 @@ class Simulator:
         #: fault injector (seeded reordering) and available to schedule
         #: explorers.
         self.chooser: Callable[[int], int] | None = None
+        #: Time-advance observation hook. ``None`` (the default) keeps
+        #: the unmodified hot loop. When set, the hook is called with the
+        #: new simulated time whenever the clock moves forward, *before*
+        #: the event at that time fires — so an observer sees the state
+        #: that held over the whole interval up to (and at) each sampled
+        #: instant. Strictly observational: the hook must never schedule
+        #: events or mutate simulation state. Used by the metrics
+        #: collector (:mod:`repro.metrics`) for periodic sampling.
+        self.on_advance: Callable[[float], None] | None = None
 
     def schedule(self, at: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` to run at absolute simulated time ``at``."""
@@ -77,6 +86,8 @@ class Simulator:
         try:
             if self.chooser is not None:
                 return self._run_chosen(until)
+            if self.on_advance is not None:
+                return self._run_observed(until)
             if until is None:
                 # Unbounded run (the overwhelmingly common case): no
                 # per-event deadline check.
@@ -106,12 +117,37 @@ class Simulator:
         finally:
             self._running = False
 
+    def _run_observed(self, until: float | None) -> float:
+        """The :meth:`run` loop with the time-advance hook. Kept out of
+        line (like :meth:`_run_chosen`) so the default path pays nothing
+        for the hook's existence."""
+        queue = self._queue
+        heappop = heapq.heappop
+        advance = self.on_advance
+        while True:
+            if not queue:
+                if self.idle_check is not None:
+                    self.idle_check()
+                if not queue:
+                    break
+            at, _, fn = queue[0]
+            if until is not None and at > until:
+                break
+            heappop(queue)
+            if at > self.now:
+                advance(at)
+            self.now = at
+            fn()
+        return self.now
+
     def _run_chosen(self, until: float | None) -> float:
         """The :meth:`run` loop with the choice-point hook consulted on
         same-instant ties. Kept out of line so the default path pays
-        nothing for the hook's existence."""
+        nothing for the hook's existence. Also consults ``on_advance``
+        when both hooks are installed (fault injection plus metrics)."""
         queue = self._queue
         heappop, heappush = heapq.heappop, heapq.heappush
+        advance = self.on_advance
         while True:
             if not queue:
                 if self.idle_check is not None:
@@ -134,6 +170,8 @@ class Simulator:
                     heappush(queue, ev)
             else:
                 chosen = ties[0]
+            if advance is not None and at > self.now:
+                advance(at)
             self.now = at
             chosen[2]()
         return self.now

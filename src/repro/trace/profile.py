@@ -191,7 +191,7 @@ class ContentionProfile:
             f"({self.exec_time_us / 1e6:.3f} s simulated)",
             "events: " + ", ".join(f"{k}={v}"
                                    for k, v in self.kind_counts.items()
-                                   if v),
+                                   if v) + f", trace_dropped={self.dropped}",
         ]
         if self.dropped:
             lines.append(f"warning: ring buffer dropped {self.dropped} "
@@ -258,6 +258,7 @@ class ContentionProfile:
             "exec_time_us": self.exec_time_us,
             "kind_counts": self.kind_counts,
             "dropped_events": self.dropped,
+            "trace_dropped": self.dropped,
             "hot_pages": [
                 {"page": page, "read_faults": ps.read_faults,
                  "write_faults": ps.write_faults, "fetches": ps.fetches,

@@ -98,8 +98,14 @@ class Tracer:
     # --- lifecycle ---------------------------------------------------------
 
     def finalize(self, **meta) -> None:
-        """Record end-of-run metadata (app, protocol, exec time, shape)."""
+        """Record end-of-run metadata (app, protocol, exec time, shape).
+
+        Also stamps the ring buffer's final drop count into the
+        metadata, so exports and the metrics store see how much of the
+        run the surviving events actually cover.
+        """
         self.meta.update(meta)
+        self.meta["trace_dropped"] = self.dropped
 
 
 def attach_tracer(cluster, protocol,

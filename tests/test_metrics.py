@@ -1,0 +1,404 @@
+"""The metrics subsystem: sampled series, parity, the sqlite run store,
+the trend/regression dashboard, and the ``metrics`` CLI.
+
+The central promise mirrors the checker's and the tracer's: metrics
+collection is strictly observational, so a metered run and an unmetered
+run of the same program produce byte-identical statistics *and result
+arrays* — under every protocol. And because the simulator is
+deterministic, the same metered run recorded twice yields identical
+series, making any series change between source revisions a real
+behavioral difference.
+"""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig, metering, run_app
+from repro.apps import make_app
+from repro.metrics import DEFAULT_INTERVAL_US, MetricsCollector
+from repro.metrics.dashboard import TrendReport, render_html, sparkline
+from repro.metrics.store import (BENCH_SCHEMAS, STORE_SCHEMA, RunStore,
+                                 StoreError)
+from repro.runtime.api import metrics_enabled
+
+SMALL = MachineConfig(nodes=2, procs_per_node=2, page_bytes=512)
+METERED = replace(SMALL, metrics=True)
+
+
+# ---------------------------------------------------------------------------
+# Parity: metrics must not perturb the simulation.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("protocol", ["2L", "2LS", "1LD", "1L"])
+@pytest.mark.parametrize("app_name", ["SOR", "Water"])
+def test_metrics_do_not_perturb_run(app_name, protocol):
+    app = make_app(app_name)
+    plain = run_app(app, app.small_params(), SMALL, protocol)
+    metered = run_app(make_app(app_name), app.small_params(), METERED,
+                      protocol)
+
+    assert metered.exec_time_us == plain.exec_time_us
+    assert metered.stats.aggregate.counters == \
+        plain.stats.aggregate.counters
+    assert metered.stats.aggregate.buckets == plain.stats.aggregate.buckets
+    assert metered.stats.mc_traffic_bytes == plain.stats.mc_traffic_bytes
+    for m_ps, p_ps in zip(metered.stats.per_proc, plain.stats.per_proc):
+        assert m_ps.counters == p_ps.counters
+        assert m_ps.buckets == p_ps.buckets
+    for name in app.result_arrays(app.small_params()):
+        assert np.array_equal(metered.array(name), plain.array(name))
+
+    assert plain.metrics is None
+    assert metered.metrics is not None
+    assert metered.metrics.num_samples > 0
+
+
+def test_same_run_recorded_twice_yields_identical_series():
+    app = make_app("SOR")
+    a = run_app(app, app.small_params(), METERED, "2L")
+    b = run_app(make_app("SOR"), app.small_params(), METERED, "2L")
+    assert a.metrics.to_payload()["series"] == \
+        b.metrics.to_payload()["series"]
+
+
+# ---------------------------------------------------------------------------
+# Wiring: config flag, context manager, RunResult.metrics.
+# ---------------------------------------------------------------------------
+
+class TestWiring:
+    def test_metering_context_manager(self):
+        plain = MachineConfig()
+        assert not metrics_enabled(plain)
+        with metering():
+            assert metrics_enabled(plain)
+            with metering():          # re-entrant
+                assert metrics_enabled(plain)
+            assert metrics_enabled(plain)
+        assert not metrics_enabled(plain)
+
+    def test_config_flag(self):
+        assert metrics_enabled(MachineConfig(metrics=True))
+
+    def test_context_manager_attaches_collector(self):
+        app = make_app("SOR")
+        with metering():
+            result = run_app(app, app.small_params(), SMALL, "2L")
+        assert result.metrics is not None
+        assert result.metrics.meta["app"] == "SOR"
+        assert result.metrics.meta["protocol"] == "2L"
+
+
+# ---------------------------------------------------------------------------
+# Collector contents, sharing one metered run.
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def metered_sor():
+    app = make_app("SOR")
+    return run_app(app, app.small_params(), METERED, "2L")
+
+
+class TestCollectorContents:
+    def test_expected_series_present(self, metered_sor):
+        series = metered_sor.metrics.series
+        for name in ("ctr.read_faults", "ctr.page_transfers", "mc.util",
+                     "reqq.total", "dir.occ.total", "pages.invalid",
+                     "pages.read", "pages.write", "pages.excl",
+                     "proto.twins", "tlb.hits", "tlb.misses",
+                     "tlb.hit_rate"):
+            assert name in series, name
+
+    def test_sample_times_are_interval_aligned(self, metered_sor):
+        times, values = metered_sor.metrics.series["reqq.total"]
+        assert len(times) == len(values)
+        # Every boundary except the final partial-interval sample lands
+        # on a multiple of the sampling interval.
+        for t in times[:-1]:
+            assert t % DEFAULT_INTERVAL_US == 0.0
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(metered_sor.exec_time_us)
+
+    def test_counter_deltas_sum_to_final_totals(self, metered_sor):
+        final = metered_sor.stats.aggregate.counters
+        series = metered_sor.metrics.series
+        for counter in ("read_faults", "write_faults", "page_transfers",
+                        "directory_updates"):
+            _, deltas = series[f"ctr.{counter}"]
+            assert sum(deltas) == final[counter], counter
+
+    def test_mc_byte_deltas_sum_to_traffic(self, metered_sor):
+        traffic = metered_sor.stats.mc_traffic_bytes
+        series = metered_sor.metrics.series
+        for category, total in traffic.items():
+            _, deltas = series[f"mc.bytes.{category}"]
+            assert sum(deltas) == total, category
+
+    def test_page_state_histogram_covers_all_pages(self, metered_sor):
+        series = metered_sor.metrics.series
+        pages = metered_sor.runtime.config.num_pages
+        states = [series[f"pages.{s}"][1]
+                  for s in ("invalid", "read", "write", "excl")]
+        for counts in zip(*states):
+            assert sum(counts) == pages
+
+    def test_utilization_bounded(self, metered_sor):
+        _, util = metered_sor.metrics.series["mc.util"]
+        assert all(0.0 <= u <= 1.0 + 1e-9 for u in util)
+
+    def test_tlb_rate_consistent_with_cells(self, metered_sor):
+        coll = metered_sor.metrics
+        hits, misses = coll.tlb
+        assert hits > 0 and misses > 0
+        assert sum(coll.series["tlb.hits"][1]) == hits
+        assert sum(coll.series["tlb.misses"][1]) == misses
+
+    def test_payload_is_json_serializable(self, metered_sor):
+        payload = metered_sor.metrics.to_payload()
+        doc = json.loads(json.dumps(payload))
+        assert doc["interval_us"] == DEFAULT_INTERVAL_US
+        assert doc["meta"]["app"] == "SOR"
+        assert set(doc["series"]) == set(metered_sor.metrics.series)
+
+    def test_finalize_is_idempotent(self):
+        coll = MetricsCollector()
+        assert coll.interval_us == DEFAULT_INTERVAL_US
+        with pytest.raises(ValueError):
+            MetricsCollector(interval_us=0)
+
+
+def test_metrics_compose_with_tracing():
+    app = make_app("SOR")
+    both = replace(SMALL, metrics=True, tracing=True)
+    result = run_app(app, app.small_params(), both, "2L")
+    assert result.trace is not None and result.metrics is not None
+    _, dropped = result.metrics.series["trace.dropped"]
+    assert dropped[-1] == result.trace.dropped
+
+
+def test_trace_dropped_surfaces_in_meta_and_profile():
+    from repro.trace import ContentionProfile
+    app = make_app("SOR")
+    result = run_app(app, app.small_params(),
+                     replace(SMALL, tracing=True), "2L")
+    assert result.trace.meta["trace_dropped"] == result.trace.dropped
+    profile = ContentionProfile(result.trace)
+    assert f"trace_dropped={result.trace.dropped}" in profile.format()
+    assert profile.to_json()["trace_dropped"] == result.trace.dropped
+
+
+# ---------------------------------------------------------------------------
+# The sqlite run store.
+# ---------------------------------------------------------------------------
+
+def _bench_doc(schema="cashmere-bench-2", wall=0.1, **extras):
+    doc = {
+        "schema": schema,
+        "timestamp": "2026-01-01T00:00:00",
+        "python": "3.11.7", "numpy": "1.0", "platform": "test",
+        "quick": True,
+        "benchmarks": {
+            "access": {"wall_s": wall, "reps": 3},
+            "sor32": {"wall_s": wall * 2, "reps": 3, "sim_us": 1000.0,
+                      "sim_us_per_wall_s": 1000.0 / (wall * 2)},
+        },
+    }
+    doc.update(extras)
+    return doc
+
+
+class TestRunStore:
+    def test_ingest_result_roundtrip(self, metered_sor, tmp_path):
+        with RunStore(str(tmp_path / "m.db")) as store:
+            run_id = store.ingest_result(metered_sor)
+            (run,) = store.runs()
+            assert run["id"] == run_id
+            assert run["kind"] == "run"
+            assert run["app"] == "SOR" and run["protocol"] == "2L"
+            assert run["schema_version"] == STORE_SCHEMA
+            manifest = store.manifest(run_id)
+            assert manifest["source_digest"]
+            assert manifest["config_key"]
+            counters = store.counters(run_id)
+            assert counters["exec_time_us"] == metered_sor.exec_time_us
+            assert counters["ctr.read_faults"] == \
+                metered_sor.stats.aggregate.counters["read_faults"]
+            names = store.series_names(run_id)
+            assert set(names) == set(metered_sor.metrics.series)
+            times, values = store.series(run_id, "reqq.total")
+            src_t, src_v = metered_sor.metrics.series["reqq.total"]
+            assert times == src_t and values == src_v
+
+    def test_ingest_requires_metrics(self, tmp_path):
+        app = make_app("SOR")
+        plain = run_app(app, app.small_params(), SMALL, "2L")
+        with RunStore(str(tmp_path / "m.db")) as store:
+            with pytest.raises(StoreError):
+                store.ingest_result(plain)
+
+    def test_import_both_bench_schemas(self, tmp_path):
+        db = str(tmp_path / "m.db")
+        with RunStore(db) as store:
+            for schema in BENCH_SCHEMAS:
+                path = tmp_path / f"BENCH_{schema}.json"
+                path.write_text(json.dumps(_bench_doc(schema=schema)))
+                store.import_bench_json(str(path))
+            runs = store.runs(kind="bench")
+            assert [r["schema_version"] for r in runs] == \
+                list(BENCH_SCHEMAS)
+            for run in runs:
+                assert store.counters(run["id"])["access.wall_s"] == 0.1
+
+    def test_unknown_bench_schema_rejected(self, tmp_path):
+        with RunStore(str(tmp_path / "m.db")) as store:
+            with pytest.raises(StoreError):
+                store.ingest_bench(_bench_doc(schema="bogus-9"),
+                                   label="x")
+
+    def test_store_schema_mismatch_rejected(self, tmp_path):
+        db = str(tmp_path / "m.db")
+        with RunStore(db) as store:
+            store.db.execute(
+                "UPDATE meta SET value = 'other-schema'"
+                " WHERE key = 'schema'")
+            store.db.commit()
+        with pytest.raises(StoreError):
+            RunStore(db)
+
+    def test_committed_bench_history_imports(self, tmp_path,
+                                             repo_root=None):
+        import os
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        committed = [os.path.join(root, name)
+                     for name in ("BENCH_sweep.json", "BENCH_fastpath.json")]
+        for path in committed:
+            assert os.path.isfile(path), path
+        with RunStore(str(tmp_path / "m.db")) as store:
+            for path in committed:
+                store.import_bench_json(path)
+            runs = store.runs(kind="bench")
+            assert len(runs) == 2
+            report = TrendReport(store)
+            assert len(report.trends) > 0
+
+
+# ---------------------------------------------------------------------------
+# Trend report and regression gate.
+# ---------------------------------------------------------------------------
+
+class TestTrendReport:
+    def test_no_regression_on_flat_history(self, tmp_path):
+        with RunStore(str(tmp_path / "m.db")) as store:
+            store.ingest_bench(_bench_doc(wall=0.1), label="a")
+            store.ingest_bench(_bench_doc(wall=0.11), label="b")
+            report = TrendReport(store)
+            assert report.ok
+            assert "no gated regressions" in report.format()
+
+    def test_synthetic_regression_detected(self, tmp_path):
+        with RunStore(str(tmp_path / "m.db")) as store:
+            store.ingest_bench(_bench_doc(wall=0.1), label="before")
+            store.ingest_bench(_bench_doc(wall=1.0), label="after")
+            report = TrendReport(store)
+            assert not report.ok
+            names = {t.name for t in report.regressions()}
+            assert "access.wall_s" in names
+            assert "REGRESSED" in report.format()
+
+    def test_sim_counters_never_gate(self, tmp_path):
+        # Simulated-time counters may legitimately change with the
+        # source; only wall-clock counters participate in the gate.
+        with RunStore(str(tmp_path / "m.db")) as store:
+            a = _bench_doc(wall=0.1)
+            b = _bench_doc(wall=0.1)
+            b["benchmarks"]["sor32"]["sim_us"] = 99999.0
+            store.ingest_bench(a, label="a")
+            store.ingest_bench(b, label="b")
+            assert TrendReport(store).ok
+
+    def test_gate_factor_respected(self, tmp_path):
+        with RunStore(str(tmp_path / "m.db")) as store:
+            store.ingest_bench(_bench_doc(wall=0.1), label="a")
+            store.ingest_bench(_bench_doc(wall=0.25), label="b")
+            assert not TrendReport(store, gate_factor=2.0).ok
+            assert TrendReport(store, gate_factor=3.0).ok
+
+    def test_single_run_is_ok(self, tmp_path):
+        with RunStore(str(tmp_path / "m.db")) as store:
+            store.ingest_bench(_bench_doc(), label="only")
+            report = TrendReport(store)
+            assert report.ok and "need two runs" in report.format()
+
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "▁▁"
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3 and line[0] == "▁" and line[-1] == "█"
+
+
+class TestHtmlDashboard:
+    def test_renders_trends_and_series(self, metered_sor, tmp_path):
+        with RunStore(str(tmp_path / "m.db")) as store:
+            store.ingest_bench(_bench_doc(wall=0.1), label="a")
+            store.ingest_bench(_bench_doc(wall=1.0), label="b")
+            store.ingest_result(metered_sor)
+            doc = render_html(store)
+        assert doc.startswith("<!doctype html>")
+        assert "access.wall_s" in doc
+        assert "regression" in doc
+        assert "<svg" in doc          # series charts
+        assert "dir.occ.total" in doc
+
+
+# ---------------------------------------------------------------------------
+# CLI end-to-end (through the cashmere-repro dispatcher).
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def _main(self, *argv):
+        from repro.experiments.runner import main
+        return main(list(argv))
+
+    def test_full_flow(self, tmp_path, capsys):
+        import os
+        db = str(tmp_path / "m.db")
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        a = os.path.join(root, "BENCH_sweep.json")
+        b = os.path.join(root, "BENCH_fastpath.json")
+        assert self._main("metrics", "import", a, b, "--db", db) == 0
+        assert self._main("metrics", "list", "--db", db) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_sweep.json" in out
+        rc = self._main("metrics", "report", "--db", db, "--gate", "1e9")
+        assert rc == 0
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        db = str(tmp_path / "m.db")
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        before.write_text(json.dumps(_bench_doc(wall=0.1)))
+        after.write_text(json.dumps(_bench_doc(wall=1.0)))
+        assert self._main("metrics", "import", str(before), str(after),
+                          "--db", db) == 0
+        assert self._main("metrics", "report", "--db", db) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_html_subcommand(self, tmp_path, capsys):
+        db = str(tmp_path / "m.db")
+        doc = tmp_path / "d.json"
+        doc.write_text(json.dumps(_bench_doc()))
+        assert self._main("metrics", "import", str(doc), "--db", db) == 0
+        out = tmp_path / "dash.html"
+        assert self._main("metrics", "html", "--db", db,
+                          "--out", str(out)) == 0
+        assert out.read_text().startswith("<!doctype html>")
+
+    def test_bad_import_reports_error(self, tmp_path, capsys):
+        db = str(tmp_path / "m.db")
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{not json")
+        assert self._main("metrics", "import", str(bogus),
+                          "--db", db) == 2
+        assert "error" in capsys.readouterr().err

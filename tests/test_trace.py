@@ -106,7 +106,7 @@ class TestTracer:
         tr.finalize(app="SOR", protocol="2L")
         tr.finalize(exec_time_us=42.0)
         assert tr.meta == {"app": "SOR", "protocol": "2L",
-                           "exec_time_us": 42.0}
+                           "exec_time_us": 42.0, "trace_dropped": 0}
 
     def test_event_json_is_serializable(self):
         ev = TraceEvent("diff_out", 1, 0, 3.5, 0.0, 9, {"bytes": 64})
