@@ -17,22 +17,40 @@ from repro.experiments.bench import (ACCESS_REGRESSION_FACTOR, BenchReport,
 _BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
 
 EXPECTED = {"access", "fault_storm", "barrier", "sor32", "water32",
+            "sor_band_lowered", "sor_band_interp",
             "sweep_serial", "sweep_parallel", "sweep_warm"}
 
 
 def test_quick_bench_report_shape():
     report = run_bench(quick=True, baseline_path=_BASELINE)
     data = report.to_json()
-    assert data["schema"] == "cashmere-bench-2"
+    assert data["schema"] == "cashmere-bench-3"
     assert data["quick"] is True
     assert isinstance(data["fastpath"], bool)
+    assert isinstance(data["lowering"], bool)
     assert "jobs" in data
     assert set(data["benchmarks"]) == EXPECTED
     for name, entry in data["benchmarks"].items():
         assert entry["wall_s"] > 0, name
-    for full in ("sor32", "water32"):
+    for full in ("sor32", "water32", "fault_storm", "barrier",
+                 "sor_band_lowered", "sor_band_interp"):
         assert data["benchmarks"][full]["sim_us"] > 0
         assert data["benchmarks"][full]["sim_us_per_wall_s"] > 0
+    # The access microbench is all-warm: warm accesses charge nothing,
+    # so its simulated time is honestly tiny — just the handful of cold
+    # faults that warmed the pages up, orders of magnitude under the
+    # other benches.
+    assert 0 < data["benchmarks"]["access"]["sim_us"] < 1000.0
+    # Lowered and interpreted runs covered the same simulated time and
+    # the parity diffs passed.
+    lowered = data["benchmarks"]["sor_band_lowered"]
+    assert lowered["sim_us"] == data["benchmarks"]["sor_band_interp"]["sim_us"]
+    assert lowered["parity"] == "ok"
+    assert lowered["parity_sor32"] == "ok"
+    # Honest sweep provenance: two-worker pool, measured speedup.
+    par = data["benchmarks"]["sweep_parallel"]
+    assert par["jobs"] == min(2, par["cores"])
+    assert par["speedup"] > 0
     # The cache-warm sweep ran zero simulations (all cells cached) and
     # is far cheaper than the cold serial sweep.
     assert data["benchmarks"]["sweep_warm"]["executed"] == 0
@@ -57,6 +75,40 @@ def test_regression_gate_fires_on_synthetic_baseline():
         baseline={"benchmarks": {
             "access": {"wall_s": 0.1 / ACCESS_REGRESSION_FACTOR * 2.0}}})
     assert healthy.check_regression() is None
+
+
+def test_lowering_gate_fires_on_parity_or_ratio_failure():
+    mismatch = BenchReport(results=[
+        BenchResult("sor_band_lowered", wall_s=0.1, reps=1,
+                    extra={"parity": "MISMATCH", "parity_sor32": "ok"}),
+        BenchResult("sor_band_interp", wall_s=0.5, reps=1)])
+    message = mismatch.check_regression()
+    assert message is not None and "parity" in message
+
+    slow = BenchReport(results=[
+        BenchResult("sor_band_lowered", wall_s=0.4, reps=1,
+                    extra={"parity": "ok", "parity_sor32": "ok"}),
+        BenchResult("sor_band_interp", wall_s=0.5, reps=1)])
+    message = slow.check_regression()
+    assert message is not None and "not batching" in message
+
+    healthy = BenchReport(results=[
+        BenchResult("sor_band_lowered", wall_s=0.1, reps=1,
+                    extra={"parity": "ok", "parity_sor32": "ok"}),
+        BenchResult("sor_band_interp", wall_s=0.5, reps=1)])
+    assert healthy.check_regression() is None
+
+
+def test_profile_rows_report_hot_functions():
+    from repro.experiments.bench import _profile_rows, bench_barrier
+    rows = _profile_rows([lambda: bench_barrier(episodes=5)], top=10)
+    assert 0 < len(rows) <= 10
+    for row in rows:
+        assert row["ncalls"] >= 1
+        assert row["cumtime_s"] >= row["tottime_s"] >= 0
+    # Sorted by cumulative time, and the simulator shows up hot.
+    cums = [r["cumtime_s"] for r in rows]
+    assert cums == sorted(cums, reverse=True)
 
 
 def test_sweep_warm_gate_fires_when_cache_not_serving():

@@ -18,20 +18,39 @@ runs:
     Full 32-processor (8 nodes x 4) runs under 2L with default problem
     sizes; also reports simulated-us per wall-second (simulator
     throughput).
+``sor_band_lowered`` / ``sor_band_interp``
+    The kernel-lowering pipeline's home turf (DESIGN.md §14): a
+    single-processor SOR band run with lowering on vs forced per-step
+    interpretation. A solo processor never trips the batched executor's
+    event-horizon check, so whole half-sweeps collapse into single
+    events — this pair carries the host-independent >=2x ratio gate.
+    (The 32-processor runs are lockstep-contended: every step, another
+    processor's event is due, so batches degenerate to one step and
+    lowering adaptively falls back — which is why the gate lives here
+    and not on ``sor32``.) The lowered rep is also diffed against the
+    interpreted rep — stats and result bytes — as a CI parity check.
 ``sweep_serial`` / ``sweep_parallel`` / ``sweep_warm``
     The sweep engine (:mod:`repro.experiments.sweep`) over a
     figure7-style grid of cells: cold serial, cold on a process pool
-    (``jobs = min(4, cores)`` — recorded in the report; no speedup is
-    expected on a single-core host), and cache-warm (every cell served
-    from a pre-populated content-addressed cache, zero simulations).
+    (``jobs = min(2, cores)``; ``cores``, ``jobs``, and the honest
+    measured ``speedup`` are recorded — on a single-core host the pool
+    degenerates to serial-plus-overhead and the speedup reads < 1),
+    and cache-warm (every cell served from a pre-populated
+    content-addressed cache, zero simulations).
 
 Methodology: each benchmark is run ``reps`` times after one untimed
 warmup with the garbage collector disabled around the timed region, and
 the *best* wall time is reported — the minimum is the stable statistic on
-a machine with background load. Results can be written as a
-``BENCH_*.json`` and compared against a committed baseline
-(``benchmarks/perf/baseline.json``); the access microbenchmark gates CI
-at a 2x regression (headroom for runner speed variance).
+a machine with background load. Every benchmark also records the
+simulated time it covered (``sim_us``) and the derived simulator
+throughput (``sim_us_per_wall_s``); for ``access`` the simulated time is
+honestly ~0 — warm accesses charge nothing, that is the point of the
+fast path. Results can be written as a ``BENCH_*.json`` and compared
+against a committed baseline (``benchmarks/perf/baseline.json``); the
+access microbenchmark gates CI at a 2x regression (headroom for runner
+speed variance). ``--profile`` additionally runs one rep of each
+single-process benchmark under :mod:`cProfile` and reports the top
+functions by cumulative time.
 """
 
 from __future__ import annotations
@@ -43,7 +62,7 @@ import platform
 import sys
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -51,7 +70,7 @@ from ..config import MachineConfig
 from ..apps import make_app
 from ..cluster.machine import Cluster
 from ..protocol import make_protocol
-from ..runtime.api import fastpath_enabled
+from ..runtime.api import fastpath_enabled, lowering_enabled
 from ..runtime.env import WorkerEnv
 from ..runtime.program import ParallelRuntime, run_app
 from ..sim.process import Charge, ProcessGroup
@@ -59,13 +78,24 @@ from ..sync.barrier import Barrier
 
 #: Schema tag written into every BENCH_*.json. Bumped to 2 when the
 #: report gained ``fastpath``/``jobs`` environment provenance and the
-#: cache-warm sweep's hit/miss counts; the metrics store
-#: (:mod:`repro.metrics.store`) ingests both schemas.
-SCHEMA = "cashmere-bench-2"
+#: cache-warm sweep's hit/miss counts; bumped to 3 when every
+#: microbenchmark gained ``sim_us``/``sim_us_per_wall_s``, the sweep
+#: benches an honest measured ``speedup``, and the report the
+#: ``lowering`` provenance flag plus the ``sor_band_*`` lowering pair.
+#: The metrics store (:mod:`repro.metrics.store`) ingests all three.
+SCHEMA = "cashmere-bench-3"
 
 #: CI regression gate: fail when the access microbenchmark is more than
 #: this factor slower than the committed baseline.
 ACCESS_REGRESSION_FACTOR = 2.0
+
+#: CI lowering gate: the lowered solo SOR band run must beat the
+#: interpreted one by at least this wall-clock factor. Host-independent
+#: (both runs execute in the same process on the same host, and the
+#: ratio — measured ≈4x — has wide headroom) and byte-identity is
+#: asserted separately, so a trip means the batched executor stopped
+#: batching, not that the runner is slow.
+LOWERING_SPEEDUP_FACTOR = 2.0
 
 
 @dataclass
@@ -94,6 +124,9 @@ class BenchReport:
     quick: bool = False
     baseline: dict | None = None
     baseline_path: str | None = None
+    #: ``--profile``: top functions by cumulative time over one rep of
+    #: each single-process benchmark (list of row dicts), else None.
+    profile: list[dict] | None = None
 
     def result(self, name: str) -> BenchResult | None:
         for r in self.results:
@@ -118,12 +151,15 @@ class BenchReport:
             "numpy": np.__version__,
             "platform": platform.platform(),
             "quick": self.quick,
-            # Schema 2: the two environment knobs that change what the
+            # Schema 2/3: the environment knobs that change what the
             # timed code actually executes.
             "fastpath": fastpath_enabled(MachineConfig()),
+            "lowering": lowering_enabled(MachineConfig()),
             "jobs": os.environ.get("CASHMERE_JOBS") or None,
             "benchmarks": benchmarks,
         }
+        if self.profile is not None:
+            out["profile"] = self.profile
         if self.baseline is not None:
             out["baseline"] = self.baseline
             if self.baseline_path:
@@ -154,6 +190,16 @@ class BenchReport:
             lines.append(line)
         return "\n".join(lines)
 
+    def format_profile(self) -> str:
+        rows = self.profile or []
+        lines = [f"cProfile, one rep per benchmark — top {len(rows)} by "
+                 f"cumulative time",
+                 f"{'ncalls':>10s} {'tottime':>9s} {'cumtime':>9s}  function"]
+        for row in rows:
+            lines.append(f"{row['ncalls']:>10d} {row['tottime_s']:>8.3f}s "
+                         f"{row['cumtime_s']:>8.3f}s  {row['function']}")
+        return "\n".join(lines)
+
     def check_regression(self) -> str | None:
         """CI gate: None when healthy, else a failure message."""
         # Host-independent sweep-cache gate: a cache-warm sweep executes
@@ -168,6 +214,26 @@ class BenchReport:
                     f"{warm.wall_s:.4f}s warm vs {serial.wall_s:.4f}s "
                     f"serial (expected < 0.5x) — result cache is not "
                     f"serving hits")
+        # Host-independent lowering gates (see LOWERING_SPEEDUP_FACTOR):
+        # parity is mandatory, and the solo-band lowered run must beat
+        # the interpreted one by the configured ratio.
+        lowered = self.result("sor_band_lowered")
+        interp = self.result("sor_band_interp")
+        if lowered is not None and lowered.extra:
+            for key in ("parity", "parity_sor32"):
+                verdict = lowered.extra.get(key)
+                if verdict is not None and verdict != "ok":
+                    return (f"lowering {key} check failed: lowered and "
+                            f"interpreted runs diverged ({verdict}) — "
+                            f"the batched executor is not byte-identical")
+        if lowered is not None and interp is not None and \
+                lowered.wall_s > 0 and \
+                interp.wall_s < LOWERING_SPEEDUP_FACTOR * lowered.wall_s:
+            return (f"kernel lowering not paying off: lowered solo SOR "
+                    f"band {lowered.wall_s:.4f}s vs interpreted "
+                    f"{interp.wall_s:.4f}s "
+                    f"(expected >= {LOWERING_SPEEDUP_FACTOR}x speedup) — "
+                    f"the batched executor is not batching")
         if self.baseline is None:
             return None
         access = self.result("access")
@@ -201,14 +267,21 @@ def _best_of(fn, reps: int) -> float:
 # --- microbenchmarks ----------------------------------------------------------
 
 
-def bench_access(ops: int = 200_000) -> None:
-    """Warm get/set/get_block/set_block through a real WorkerEnv."""
+def bench_access(ops: int = 200_000) -> float:
+    """Warm get/set/get_block/set_block through a real WorkerEnv.
+
+    Returns the simulated time covered — honestly ~0: after the first
+    touch every access is warm, and a warm access charges nothing (that
+    is the fast path's contract). The throughput column for this bench
+    is therefore meaningless by design; the wall clock is the number.
+    """
     app = make_app("SOR")
     params = app.small_params()
     rt = ParallelRuntime(app, params, MachineConfig(nodes=1,
                                                     procs_per_node=1), "2L")
     rt.protocol.end_initialization()
     env = WorkerEnv(rt, rt.cluster.processors[0])
+    proc = rt.cluster.processors[0]
     arr = rt.segment.array("red")
     vals = np.arange(16.0)
     # Touch once so the remaining iterations are all warm.
@@ -219,11 +292,16 @@ def bench_access(ops: int = 200_000) -> None:
         env.get(arr, i % 64)
         env.set_block(arr, 0, vals)
         env.get_block(arr, 0, 16)
+    return proc.clock
 
 
 def bench_fault_storm(rounds: int = 12, nodes: int = 2, ppn: int = 2,
-                      pages: int = 24) -> None:
-    """Every round, every processor writes a page it has never touched."""
+                      pages: int = 24) -> float:
+    """Every round, every processor writes a page it has never touched.
+
+    Returns the simulated time the storm covered (faults and barriers
+    both charge), so the report can state the simulator's throughput on
+    an all-cold-path workload."""
     cfg = MachineConfig(nodes=nodes, procs_per_node=ppn, page_bytes=512,
                         shared_bytes=512 * (pages + 1))
     cluster = Cluster(cfg)
@@ -249,10 +327,12 @@ def bench_fault_storm(rounds: int = 12, nodes: int = 2, ppn: int = 2,
     for proc in cluster.processors:
         group.spawn(proc, worker(proc), name=f"storm:p{proc.global_id}")
     group.run()
+    return max(proc.clock for proc in cluster.processors)
 
 
-def bench_barrier(episodes: int = 300, nodes: int = 4, ppn: int = 2) -> None:
-    """Barrier episodes with no shared-data access."""
+def bench_barrier(episodes: int = 300, nodes: int = 4, ppn: int = 2) -> float:
+    """Barrier episodes with no shared-data access; returns the
+    simulated time the episodes covered."""
     cfg = MachineConfig(nodes=nodes, procs_per_node=ppn)
     cluster = Cluster(cfg)
     proto = make_protocol("2L", cluster)
@@ -270,6 +350,7 @@ def bench_barrier(episodes: int = 300, nodes: int = 4, ppn: int = 2) -> None:
     for proc in cluster.processors:
         group.spawn(proc, worker(proc), name=f"bar:p{proc.global_id}")
     group.run()
+    return max(proc.clock for proc in cluster.processors)
 
 
 def _full_run(app_name: str, small: bool = False) -> float:
@@ -279,6 +360,72 @@ def _full_run(app_name: str, small: bool = False) -> float:
     config = MachineConfig(nodes=8, procs_per_node=4)
     result = run_app(app, params, config, "2L")
     return result.exec_time_us
+
+
+def _run_fingerprint(result, app, params) -> tuple:
+    """Stats + result bytes, for the lowering parity check."""
+    stats = result.stats
+    return (
+        stats.exec_time_us,
+        dict(stats.aggregate.counters),
+        dict(stats.aggregate.buckets),
+        stats.mc_traffic_bytes,
+        [(dict(ps.counters), dict(ps.buckets)) for ps in stats.per_proc],
+        {name: result.array(name).tobytes()
+         for name in app.result_arrays(params)},
+    )
+
+
+def bench_lowering(reps: int, quick: bool = False) -> list[BenchResult]:
+    """Lowered vs interpreted SOR: the kernel-lowering pipeline's bench.
+
+    Times a single-processor band run both ways (the horizon-friendly
+    placement where batching actually happens; the ratio carries the CI
+    gate — see :data:`LOWERING_SPEEDUP_FACTOR`), and diffs the two runs'
+    statistics and result bytes. A second parity diff runs the 8x4
+    ``sor32`` placement with small parameters: the lockstep-contended
+    schedule where the executor commits after every step and the
+    adaptive policy falls back to the interpreter.
+    """
+    band_cfg = MachineConfig(nodes=1, procs_per_node=1)
+    app = make_app("SOR")
+    # Default problem size even under --quick: the small grid finishes
+    # in ~1 ms, where fixed per-run setup dilutes the ratio the CI gate
+    # depends on, and the default 1x1 run is itself only tens of ms.
+    params = app.default_params()
+    state: dict = {}
+
+    def run_one(cfg, key):
+        result = run_app(make_app("SOR"), params, cfg, "2L")
+        state[key] = (result.exec_time_us,
+                      _run_fingerprint(result, app, params))
+
+    lowered_wall = _best_of(lambda: run_one(band_cfg, "lowered"), reps)
+    interp_wall = _best_of(
+        lambda: run_one(replace(band_cfg, lowering=False), "interp"), reps)
+    parity = "ok" if state["lowered"][1] == state["interp"][1] \
+        else "MISMATCH"
+
+    cfg32 = MachineConfig(nodes=8, procs_per_node=4)
+    p32 = app.small_params()
+    low32 = run_app(make_app("SOR"), p32, cfg32, "2L")
+    int32 = run_app(make_app("SOR"), p32,
+                    replace(cfg32, lowering=False), "2L")
+    parity32 = "ok" if _run_fingerprint(low32, app, p32) == \
+        _run_fingerprint(int32, app, p32) else "MISMATCH"
+
+    extra = {"placement": "1:1"}
+    speedup = interp_wall / lowered_wall if lowered_wall > 0 else None
+    return [
+        BenchResult("sor_band_lowered", lowered_wall, reps,
+                    sim_us=state["lowered"][0],
+                    extra=dict(extra, parity=parity,
+                               parity_sor32=parity32,
+                               speedup=round(speedup, 2)
+                               if speedup else None)),
+        BenchResult("sor_band_interp", interp_wall, reps,
+                    sim_us=state["interp"][0], extra=dict(extra)),
+    ]
 
 
 def _sweep_specs(quick: bool) -> list:
@@ -297,28 +444,35 @@ def bench_sweep(quick: bool = False) -> list[BenchResult]:
 
     The cold passes are timed once (re-running them cold would mean
     re-simulating the whole grid per rep); the warm pass is best-of-3
-    since cache hits are cheap. The pool size is recorded in ``extra``
-    — on a single-core host the parallel pass degenerates to serial and
-    shows no speedup, by design.
+    since cache hits are cheap. The pool holds ``min(2, cores)``
+    workers — two is enough to show real overlap without oversubscribing
+    small CI runners — and the report records ``cores``, ``jobs``, and
+    the honest measured ``speedup`` (cold serial wall over cold parallel
+    wall): on a single-core host the pool degenerates to serial plus
+    fork/IPC overhead and the speedup reads below 1, by design.
     """
     from .sweep import ResultCache, Sweep, run_cells
     specs = _sweep_specs(quick)
-    jobs = min(4, os.cpu_count() or 1)
-    extra = {"cells": len(specs), "cores": os.cpu_count() or 1}
+    cores = os.cpu_count() or 1
+    jobs = min(2, cores)
+    extra = {"cells": len(specs), "cores": cores}
     results = []
     gc.collect()
     gc.disable()
     try:
         t0 = time.perf_counter()
         run_cells(specs, Sweep(jobs=1))
-        results.append(BenchResult("sweep_serial",
-                                   time.perf_counter() - t0, 1,
+        serial_wall = time.perf_counter() - t0
+        results.append(BenchResult("sweep_serial", serial_wall, 1,
                                    extra=dict(extra, jobs=1)))
         t0 = time.perf_counter()
         run_cells(specs, Sweep(jobs=jobs))
-        results.append(BenchResult("sweep_parallel",
-                                   time.perf_counter() - t0, 1,
-                                   extra=dict(extra, jobs=jobs)))
+        parallel_wall = time.perf_counter() - t0
+        results.append(BenchResult(
+            "sweep_parallel", parallel_wall, 1,
+            extra=dict(extra, jobs=jobs,
+                       speedup=round(serial_wall / parallel_wall, 2)
+                       if parallel_wall > 0 else None)))
     finally:
         gc.enable()
     with tempfile.TemporaryDirectory() as tmp:
@@ -344,9 +498,40 @@ def load_baseline(path: str) -> dict | None:
         return None
 
 
+def _profile_rows(fns: list, top: int = 15) -> list[dict]:
+    """One cProfile rep over ``fns``; rows for the top-N by cumulative
+    time (recursive frames like the worker generators report their
+    total, as pstats does)."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        for fn in fns:
+            fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (path, line, func), (_cc, nc, tt, ct, _callers) in \
+            stats.stats.items():  # type: ignore[attr-defined]
+        where = f"{os.path.basename(path)}:{line}({func})" \
+            if line else func
+        rows.append({"function": where, "ncalls": nc,
+                     "tottime_s": round(tt, 6), "cumtime_s": round(ct, 6)})
+    rows.sort(key=lambda r: r["cumtime_s"], reverse=True)
+    return rows[:top]
+
+
 def run_bench(quick: bool = False, baseline_path: str | None = None,
-              progress=None) -> BenchReport:
-    """Run the benchmark suite; ``quick`` shrinks reps and problem sizes."""
+              progress=None, profile: bool = False) -> BenchReport:
+    """Run the benchmark suite; ``quick`` shrinks reps and problem sizes.
+
+    ``profile`` additionally runs one untimed rep of each
+    single-process benchmark under cProfile and attaches the top
+    functions by cumulative time to the report.
+    """
     report = BenchReport(quick=quick)
     if baseline_path:
         report.baseline = load_baseline(baseline_path)
@@ -357,39 +542,51 @@ def run_bench(quick: bool = False, baseline_path: str | None = None,
         if progress is not None:
             progress(name)
 
+    sim_us = [0.0]
+
+    def tracked(fn):
+        """Route a microbench's returned simulated time into sim_us."""
+        def run():
+            sim_us[0] = fn()
+        return run
+
     note("access")
     ops = 50_000 if quick else 200_000
+    access_run = tracked(lambda: bench_access(ops))
     report.results.append(BenchResult(
-        "access", _best_of(lambda: bench_access(ops), reps), reps))
+        "access", _best_of(access_run, reps), reps, sim_us=sim_us[0]))
 
     note("fault_storm")
     rounds = 6 if quick else 12
+    storm_run = tracked(lambda: bench_fault_storm(rounds))
     report.results.append(BenchResult(
-        "fault_storm", _best_of(lambda: bench_fault_storm(rounds), reps),
-        reps))
+        "fault_storm", _best_of(storm_run, reps), reps, sim_us=sim_us[0]))
 
     note("barrier")
     episodes = 100 if quick else 300
+    barrier_run = tracked(lambda: bench_barrier(episodes))
     report.results.append(BenchResult(
-        "barrier", _best_of(lambda: bench_barrier(episodes), reps), reps))
+        "barrier", _best_of(barrier_run, reps), reps, sim_us=sim_us[0]))
 
     note("sor32")
-    sim_us = [0.0]
-
-    def sor_run():
-        sim_us[0] = _full_run("SOR", small=quick)
+    sor_run = tracked(lambda: _full_run("SOR", small=quick))
     report.results.append(BenchResult(
         "sor32", _best_of(sor_run, reps), reps, sim_us=sim_us[0]))
 
     note("water32")
-    wat_us = [0.0]
-
-    def water_run():
-        wat_us[0] = _full_run("Water", small=quick)
+    water_run = tracked(lambda: _full_run("Water", small=quick))
     report.results.append(BenchResult(
-        "water32", _best_of(water_run, reps), reps, sim_us=wat_us[0]))
+        "water32", _best_of(water_run, reps), reps, sim_us=sim_us[0]))
+
+    note("lowering")
+    report.results.extend(bench_lowering(reps, quick))
 
     note("sweep")
     report.results.extend(bench_sweep(quick))
+
+    if profile:
+        note("profile")
+        report.profile = _profile_rows([
+            access_run, storm_run, barrier_run, sor_run, water_run])
 
     return report

@@ -15,6 +15,7 @@ Usage (installed as ``cashmere-repro``)::
     cashmere-repro profile APP [--protocol 2L] [--faults SEED]
     cashmere-repro bench   [--quick] [--json [BENCH_run.json]]
                            [--baseline benchmarks/perf/baseline.json]
+                           [--profile]
     cashmere-repro lint    [PATHS ...] [--select RULES] [--format json]
     cashmere-repro modelcheck [PROTO ...] [--budget N] [--mutant NAME]
                               [--out counterexample.json]
@@ -40,7 +41,11 @@ writes the report to ``PATH`` instead.
 
 ``bench`` measures the simulator's *wall-clock* performance (every other
 experiment reports simulated time); with ``--baseline`` it exits nonzero
-when the access-path microbenchmark has regressed more than 2x.
+when the access-path microbenchmark has regressed more than 2x, and it
+always gates on kernel lowering (the lowered solo SOR band run must be
+byte-identical to — and at least 2x faster than — the interpreted one).
+``--profile`` adds one cProfile rep of each single-process benchmark and
+prints the top functions by cumulative time to stderr.
 
 ``lint`` runs the static DSM-usage analyzer and determinism lint
 (:mod:`repro.lint`) over PATHS (default: the installed ``repro``
@@ -193,6 +198,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="bench only: committed baseline JSON to "
                              "compare against (exits nonzero if the "
                              "access microbenchmark regressed > 2x)")
+    parser.add_argument("--profile", action="store_true",
+                        dest="bench_profile",
+                        help="bench only: run one extra rep of each "
+                             "single-process benchmark under cProfile "
+                             "and report the top functions by "
+                             "cumulative time (stderr; included in the "
+                             "JSON report)")
     parser.add_argument("-j", "--jobs", type=int, default=None,
                         metavar="N",
                         help="run independent simulation cells on N "
@@ -236,7 +248,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "bench":
         report = run_bench(quick=args.quick, baseline_path=args.baseline,
                            progress=lambda name: print(
-                               f"  bench: {name}...", file=sys.stderr))
+                               f"  bench: {name}...", file=sys.stderr),
+                           profile=args.bench_profile)
+        if report.profile is not None:
+            print(report.format_profile(), file=sys.stderr)
         if isinstance(args.as_json, str):
             with open(args.as_json, "w") as fh:
                 json.dump(report.to_json(), fh, indent=2)

@@ -1,0 +1,171 @@
+"""Stage 1: the lowerability proof for kernel region bodies.
+
+A region body (:meth:`~repro.lower.regions.RegionKernel.interp`) is the
+original per-step loop a worker used to inline. Lowering replays its
+page faults from a precomputed touch list and charges its compute cost
+without running the Python body — which is only sound if the body
+*cannot* do anything else. This module proves that statically, over the
+same statement CFG the lint's kernel analyzer uses
+(:mod:`repro.lint.cfg`):
+
+* **single entry** — a function body has exactly one CFG entry, and
+  every reachable node is reached from it; sync points live in the
+  worker, so the region is the maximal code between them;
+* **sync-free** — no ``yield from`` delegation anywhere (that is how
+  every blocking operation — barriers, lock acquires, flag waits —
+  reaches the simulator), and no call to a synchronizing or
+  phase-changing env method, even a non-delegated one (``release``,
+  ``flag_set``, ``end_init`` take effect immediately);
+* **step-shaped** — plain ``yield`` expressions are the region's
+  super-step boundaries (each charges the step cost); anything else a
+  worker could yield would need the interpreter.
+
+Data accesses (``get``/``set``/``get_block``/``set_block``) are allowed
+and collected into the report — they are what the stage-2 touch lists
+describe. The proof is per kernel *class*, runs once, and failure is a
+hard :class:`~repro.errors.LoweringError`: a region that cannot be
+proven is a malformed kernel, not a fallback case (per-run fallback is
+for page-state preconditions, not for code shape).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+
+from ..errors import LoweringError
+# The lint package's kernel-analysis building blocks (PR 5): the
+# statement CFG and the source-ordered call scanner double as the
+# region analyzer's front end.
+from ..lint.appcheck import _ACCESS_METHODS, _ENV_METHODS, _stmt_calls
+from ..lint.cfg import build_cfg
+
+#: Env methods that synchronize, block, or change phase: any call makes
+#: the region non-lowerable. (``compute`` and ``arr`` are pure; the
+#: access methods are what the touch lists model.)
+_SYNC_METHODS = frozenset(_ENV_METHODS) - frozenset(_ACCESS_METHODS) \
+    - frozenset({"compute", "arr"}) | frozenset({"run_region"})
+
+
+@dataclass(frozen=True)
+class RegionReport:
+    """Stage-1 result for one region body (all checks passed)."""
+
+    #: Qualified name of the analyzed function.
+    name: str
+    #: CFG nodes reachable from the region's single entry.
+    nodes: int
+    #: Arrays read / written, as source expressions (e.g. ``"self._src"``).
+    reads: tuple[str, ...]
+    writes: tuple[str, ...]
+    #: Number of ``yield`` sites (super-step boundaries) in the body.
+    yields: int
+
+
+def _fail(name: str, node: ast.AST, why: str) -> LoweringError:
+    line = getattr(node, "lineno", 0)
+    return LoweringError(f"{name} is not lowerable (line {line}): {why}")
+
+
+def _env_param(func: ast.FunctionDef) -> str:
+    args = func.args
+    every = args.posonlyargs + args.args + args.kwonlyargs
+    for a in every:
+        if a.arg == "env":
+            return a.arg
+    raise LoweringError(
+        f"{func.name} is not a region body: no ``env`` parameter")
+
+
+def _alias_prepass(func: ast.FunctionDef, env_name: str) -> dict[str, str]:
+    """Bound-method aliases (``get_block = env.get_block``), including
+    tuple assignments — the same local idiom the lint resolves."""
+    aliases: dict[str, str] = {}
+
+    def bind(target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)) \
+                and isinstance(value, (ast.Tuple, ast.List)) \
+                and len(target.elts) == len(value.elts):
+            for t, v in zip(target.elts, value.elts):
+                bind(t, v)
+            return
+        if isinstance(target, ast.Name) and isinstance(value, ast.Attribute) \
+                and isinstance(value.value, ast.Name) \
+                and value.value.id == env_name:
+            aliases[target.id] = value.attr
+
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                bind(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            bind(stmt.target, stmt.value)
+    return aliases
+
+
+def analyze_region(func: ast.FunctionDef,
+                   name: str | None = None) -> RegionReport:
+    """Prove one function body lowerable; raise LoweringError if not."""
+    name = name or func.name
+    env_name = _env_param(func)
+    aliases = _alias_prepass(func, env_name)
+
+    def env_method(call: ast.Call) -> str | None:
+        f = call.func
+        if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name) \
+                and f.value.id == env_name:
+            return f.attr
+        if isinstance(f, ast.Name):
+            return aliases.get(f.id)
+        return None
+
+    cfg = build_cfg(func)
+    reachable = cfg.reachable_from({cfg.entry})
+    reads: list[str] = []
+    writes: list[str] = []
+    yields = 0
+    for node in cfg.nodes:
+        if node not in reachable or node.stmt is None:
+            continue
+        for expr in ast.walk(node.stmt):
+            if isinstance(expr, ast.YieldFrom):
+                raise _fail(name, expr,
+                            "``yield from`` delegates to a sub-generator "
+                            "(sync); regions must end at sync points")
+            if isinstance(expr, ast.Yield):
+                yields += 1
+        for call in _stmt_calls(node.stmt):
+            method = env_method(call)
+            if method is None:
+                continue
+            if method in _SYNC_METHODS:
+                raise _fail(name, call,
+                            f"calls env.{method}(); synchronization and "
+                            f"phase changes must stay in the worker")
+            if method in _ACCESS_METHODS:
+                kind, _slots = _ACCESS_METHODS[method]
+                target = ast.unparse(call.args[0]) if call.args else "<?>"
+                (reads if kind == "read" else writes).append(target)
+    return RegionReport(
+        name=name, nodes=len(reachable), yields=yields,
+        reads=tuple(dict.fromkeys(reads)),
+        writes=tuple(dict.fromkeys(writes)))
+
+
+def check_kernel_class(cls) -> RegionReport:
+    """Prove a :class:`RegionKernel` subclass's ``interp`` body lowerable."""
+    func = inspect.unwrap(cls.interp)
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+    except (OSError, TypeError) as exc:
+        raise LoweringError(
+            f"{cls.__name__}.interp: source unavailable for the "
+            f"lowerability proof ({exc})") from exc
+    tree = ast.parse(source)
+    fdef = tree.body[0]
+    if not isinstance(fdef, ast.FunctionDef):
+        raise LoweringError(
+            f"{cls.__name__}.interp must be a plain function")
+    return analyze_region(fdef, name=f"{cls.__name__}.interp")

@@ -34,7 +34,8 @@ STORE_SCHEMA = "cashmere-metrics-1"
 DEFAULT_DB = "metrics.db"
 
 #: Bench report schemas this store knows how to flatten.
-BENCH_SCHEMAS = ("cashmere-bench-1", "cashmere-bench-2")
+BENCH_SCHEMAS = ("cashmere-bench-1", "cashmere-bench-2",
+                 "cashmere-bench-3")
 
 _TABLES = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -213,11 +214,13 @@ class RunStore:
             # bench-2 additions (absent from bench-1 documents):
             "fastpath": report.get("fastpath"),
             "jobs": report.get("jobs"),
+            # bench-3 addition:
+            "lowering": report.get("lowering"),
         }
         counters: dict = {}
         for name, entry in report.get("benchmarks", {}).items():
             for key in ("wall_s", "sim_us", "sim_us_per_wall_s", "hits",
-                        "misses", "executed", "cells", "jobs"):
+                        "misses", "executed", "cells", "jobs", "speedup"):
                 value = entry.get(key)
                 if isinstance(value, (int, float)):
                     counters[f"{name}.{key}"] = value

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster.machine import Processor
+from ..lower.exec import region_instruction
 from ..sim.process import Compute
 from .api import SharedArray
 
@@ -60,6 +61,10 @@ class WorkerEnv:
         # minus the check.
         proto = runtime.protocol
         st = proto.proc_state(proc)
+        #: Protocol-side per-processor state (page table row + frames);
+        #: the lowered-region executor validates page permissions and
+        #: replays faults against it (:mod:`repro.lower`).
+        self._pstate = st
         self._frames = st.frames
         #: Read mappings validate against the owner's read generation,
         #: write mappings against the write generation (which also bumps
@@ -74,6 +79,13 @@ class WorkerEnv:
         #: ``store`` must keep doubling every write to the master copy.
         self._fast_write = fast and not getattr(proto, "write_through",
                                                 False)
+        #: Kernel lowering (:mod:`repro.lower`): the runtime switch
+        #: already folds in the observers and fault injection; the
+        #: fast-path requirements fold in the tracer and write-through
+        #: protocols (1L must keep doubling every store to the master,
+        #: so its writes cannot be batched into direct frame stores).
+        self._lowering = (getattr(runtime, "lowering", False)
+                          and self._fast_read and self._fast_write)
         #: Generation snapshots, held in one-element lists so the
         #: closure-compiled warm paths below and the cold-path refill
         #: helpers share one mutable cell.
@@ -418,6 +430,31 @@ class WorkerEnv:
     def compute(self, cpu_us: float, mem_bytes: float = 0.0) -> Compute:
         """A block of application computation; yield the returned object."""
         return Compute(cpu_us * self._cscale, mem_bytes * self._cscale)
+
+    # --- lowered kernel regions -----------------------------------------------------
+
+    def run_region(self, kernel):
+        """Generator: execute one lowerable kernel region (:mod:`repro.lower`).
+
+        Delegate with ``yield from env.run_region(kernel)``. When
+        lowering is off (or the region is empty) this returns the
+        kernel's per-step interpreter generator — the original loop,
+        inlined byte-identically through generator delegation. When
+        lowering is on it yields a single batched region instruction
+        that the simulation layer drives (validating page permissions
+        per step, replaying faults at the exact instants the
+        interpreter would have faulted, and charging per-step compute
+        costs with the same arithmetic).
+
+        A region with no steps (``kernel.n == 0``) is skipped entirely,
+        in both modes — the region-level equivalent of the ``if my_work:``
+        guard workers used to wrap around their loops.
+        """
+        if kernel.n <= 0:
+            return iter(())
+        if self._lowering and kernel.want_lowered():
+            return region_instruction(kernel, self)
+        return kernel.interp(self)
 
     # --- synchronization --------------------------------------------------------------
 

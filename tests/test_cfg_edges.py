@@ -1,0 +1,236 @@
+"""CFG builder edge cases (:mod:`repro.lint.cfg`).
+
+The statement CFG is the shared front end of the lint's lockset pass
+and the lowering pipeline's stage-1 proof, so its corner cases matter
+twice. These tests pin the shapes kernels actually exhibit: nested
+loops with ``break``/``continue`` (which loop does each one target?),
+``try``/``finally`` around sync points (does the finally body stay on
+every path?), and generator kernels that ``return`` mid-loop (is the
+code after the loop still reachable through the normal exit?).
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.lint.cfg import build_cfg
+from repro.lower import analyze_region
+
+
+def _cfg(source):
+    func = ast.parse(textwrap.dedent(source)).body[0]
+    return build_cfg(func)
+
+
+def _node(cfg, marker):
+    """The CFG node whose statement contains ``marker`` — the smallest
+    one, so a marker inside a loop body picks the body statement, not
+    the enclosing header (header nodes unparse with their whole body)."""
+    hits = [n for n in cfg.nodes
+            if n.stmt is not None and marker in ast.unparse(n.stmt)]
+    assert hits, f"no node matching {marker!r}"
+    return min(hits, key=lambda n: len(ast.unparse(n.stmt)))
+
+
+def _reachable(cfg):
+    return cfg.reachable_from({cfg.entry})
+
+
+# --- nested loops with break/continue ---------------------------------------
+
+NESTED = '''
+def f():
+    before = 1
+    for i in range(3):
+        outer_top = 1
+        for j in range(3):
+            if j:
+                break
+            if i:
+                continue
+            inner_tail = 1
+        outer_tail = 1
+    after = 1
+'''
+
+
+def test_nested_break_targets_inner_loop_only():
+    cfg = _cfg(NESTED)
+    seen = _reachable(cfg)
+    # Everything is reachable: break leaves only the inner loop, so the
+    # outer loop's tail still runs.
+    for marker in ("before", "outer_top", "inner_tail", "outer_tail",
+                   "after"):
+        assert _node(cfg, marker) in seen, marker
+    # break's successor is the code *after* the inner loop, not the
+    # inner loop header and not the function exit.
+    brk = _node(cfg, "break")
+    assert _node(cfg, "outer_tail") in brk.succs
+    assert cfg.exit not in brk.succs
+
+
+def test_nested_continue_jumps_to_inner_header():
+    cfg = _cfg(NESTED)
+    cont = _node(cfg, "continue")
+    inner = _node(cfg, "for j")
+    outer = _node(cfg, "for i")
+    assert inner in cont.succs
+    assert outer not in cont.succs
+    # continue skips the rest of the inner body: inner_tail is not a
+    # direct successor (it stays reachable via the no-continue path).
+    assert _node(cfg, "inner_tail") not in cont.succs
+
+
+def test_while_true_without_break_makes_tail_unreachable():
+    cfg = _cfg('''
+def f():
+    while True:
+        spin = 1
+    tail = 1
+''')
+    seen = _reachable(cfg)
+    assert _node(cfg, "spin") in seen
+    assert _node(cfg, "tail = 1") not in seen
+
+
+def test_while_true_with_break_keeps_tail_reachable():
+    cfg = _cfg('''
+def f():
+    while True:
+        if done():
+            break
+        spin = 1
+    tail = 1
+''')
+    seen = _reachable(cfg)
+    assert _node(cfg, "tail = 1") in seen
+
+
+# --- try/finally around sync -------------------------------------------------
+
+def test_finally_runs_on_both_paths():
+    cfg = _cfg('''
+def f():
+    try:
+        risky = 1
+    except ValueError:
+        handled = 1
+    finally:
+        cleanup = 1
+    after = 1
+''')
+    seen = _reachable(cfg)
+    fin = _node(cfg, "cleanup")
+    assert fin in seen
+    # The finally body postdominates both the try body and the handler:
+    # each reaches cleanup, and `after` is only entered through it.
+    risky, handled = _node(cfg, "risky"), _node(cfg, "handled")
+    assert fin in cfg.reachable_from({risky})
+    assert fin in cfg.reachable_from({handled})
+    assert _node(cfg, "after").preds == [fin]
+
+
+def test_handler_entered_from_anywhere_in_try_body():
+    cfg = _cfg('''
+def f():
+    try:
+        a = 1
+        b = 2
+    except OSError:
+        h = 1
+''')
+    h = _node(cfg, "h = 1").preds[0]  # the handler header node
+    entries = set(h.preds)
+    assert {_node(cfg, "a = 1"), _node(cfg, "b = 2")} <= entries
+
+
+def test_sync_inside_try_finally_blocks_lowering():
+    """Stage 1 must see through try/finally: a barrier in either the
+    body or the finally clause keeps the region interpreter-only."""
+    for where in ("try", "finally"):
+        body = '''
+def interp(self, env):
+    for r in self._rows:
+        try:
+            row = env.get_block(self._src, r, r + 8)
+        finally:
+            pass
+        yield self.cost
+'''
+        poisoned = body.replace(
+            "pass" if where == "finally" else
+            "row = env.get_block(self._src, r, r + 8)",
+            "x = env.get_block(self._src, r, r + 8)\n"
+            "            yield from env.barrier()")
+        func = ast.parse(textwrap.dedent(poisoned)).body[0]
+        with pytest.raises(LoweringError):
+            analyze_region(func)
+
+
+def test_sync_free_try_finally_is_lowerable():
+    func = ast.parse(textwrap.dedent('''
+def interp(self, env):
+    for r in self._rows:
+        try:
+            row = env.get_block(self._src, r, r + 8)
+        finally:
+            env.set_block(self._dst, r, row)
+        yield self.cost
+''')).body[0]
+    report = analyze_region(func)
+    assert report.reads == ("self._src",)
+    assert report.writes == ("self._dst",)
+
+
+# --- generators that return mid-loop -----------------------------------------
+
+def test_return_mid_loop_keeps_tail_reachable():
+    """A bare ``return`` in a generator ends iteration early; the code
+    after the loop must stay reachable via the normal loop exit, and
+    the return node must be wired to the function exit."""
+    cfg = _cfg('''
+def gen(self, env):
+    for r in self._rows:
+        if r > self._limit:
+            return
+        yield self.cost
+    tail = 1
+''')
+    seen = _reachable(cfg)
+    ret = _node(cfg, "return")
+    assert ret in seen
+    assert _node(cfg, "tail = 1") in seen
+    assert cfg.exit in ret.succs
+    # Nothing falls through a return: its only successor is the exit.
+    assert ret.succs == [cfg.exit]
+
+
+def test_return_mid_loop_region_still_analyzable():
+    """Early return is a legal region shape (the kernel just covers
+    fewer steps); stage 1 accepts it and still sees accesses on the
+    paths around it."""
+    func = ast.parse(textwrap.dedent('''
+def interp(self, env):
+    for r in self._rows:
+        if r > self._limit:
+            return
+        row = env.get_block(self._src, r, r + 8)
+        env.set_block(self._dst, r, row)
+        yield self.cost
+''')).body[0]
+    report = analyze_region(func)
+    assert report.reads == ("self._src",)
+    assert report.writes == ("self._dst",)
+    assert report.yields >= 1
+
+
+def test_code_after_unconditional_return_is_unreachable():
+    cfg = _cfg('''
+def f():
+    return 1
+    dead = 1
+''')
+    seen = _reachable(cfg)
+    assert _node(cfg, "dead") not in seen

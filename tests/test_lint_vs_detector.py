@@ -9,11 +9,11 @@ A corpus of tiny kernels with *known* data races is run both ways:
   dynamically-observed race must map to a static finding with the
   expected rule ID.
 
-A DRF control program closes the loop: clean under both. Finally, the
-one place the static pass over-approximates — Water's barrier-fenced
-owner-slice accesses, suppressed in source with
-``# cashmere: ignore[A004]`` — is proven feasible-path-only by running
-Water under the detector and observing zero races.
+A DRF control program closes the loop: clean under both. Finally,
+Water — whose barrier-fenced owner-slice accesses used to need two
+``# cashmere: ignore[A004]`` suppressions before the integration phase
+moved into a region kernel — is shown to lint clean with *no*
+suppressions and to run race-free under the detector.
 """
 
 import os
@@ -152,17 +152,20 @@ def test_drf_control_clean_both_ways():
         "static analyzer flagged the DRF control program"
 
 
-def test_water_suppressions_are_feasible_path_only():
-    """The two ``ignore[A004]`` comments in apps/water.py silence a
-    *feasible-path* over-approximation: the accesses are fenced from
-    the locked phase by a barrier. Prove it dynamically — Water under
-    the detector reports zero races."""
+def test_water_lints_clean_and_runs_race_free():
+    """Water used to carry two ``ignore[A004]`` comments for a
+    feasible-path over-approximation (barrier-fenced owner-slice
+    accesses inside the locked phase's lockset). Moving the integration
+    phase into ``_WaterIntegrate.interp`` removed the need: the file now
+    lints clean with no suppressions at all. Keep the dynamic half of
+    the old proof — Water under the detector reports zero races — so
+    the lint silence is still cross-checked against reality."""
     with open(os.path.join(REPO, "src", "repro", "apps",
                            "water.py")) as fh:
         source = fh.read()
     active, suppressed = lint_source(source, "water.py")
     assert active == []
-    assert [d.rule for d in suppressed] == ["A004", "A004"]
+    assert suppressed == []
 
     app = make_app("Water")
     config = MachineConfig(nodes=2, procs_per_node=2, checking=True)
