@@ -304,8 +304,7 @@ class _World:
             # raw field (see tests/test_lint.py::test_repo_tree_is_clean).
             parts.append((e.home_owner, e.home_is_default,
                           round(e.pending_until, 6),  # cashmere: ignore[F101]
-                          tuple((int(w.perm), w.excl_holder)
-                                for w in e.words)))
+                          e.state_tuple()))
             parts.append(proto.master(page).tobytes())
         for owner in range(proto.num_owners):
             parts.append(tuple(tuple(row)

@@ -336,9 +336,36 @@ class MachineConfig:
     #: protocols), and the sampled series are themselves deterministic —
     #: the same run recorded twice yields identical series.
     metrics: bool = False
+    #: Inter-node barrier topology (DESIGN.md §15). ``"flat"`` (the
+    #: paper's design, and the default — preserves every existing
+    #: number) funnels all slots through one arrival array whose
+    #: departure spin scans O(slots) words. ``"tree"`` combines arrivals
+    #: up a binary tree of Memory Channel words — O(log slots) combine
+    #: hops to the root, one broadcast departure word, O(1) departure
+    #: spin per processor — the knob that keeps 64-node barriers from
+    #: serializing. Data values are barrier-topology independent; only
+    #: timing (and the combine-hop accounting) differs.
+    barrier: str = "flat"
+    #: Home-placement policy for shared pages (DESIGN.md §15):
+    #: ``"first_touch"`` (the paper's Section 2.3 policy, the default)
+    #: relocates a superpage's home to the first owner that touches it
+    #: after initialization; ``"round_robin"`` freezes the initial
+    #: round-robin striping (no relocation ever); ``"migrate"`` is
+    #: first-touch plus migrate-on-repeated-diff — a page whose diffs
+    #: keep coming from the same remote owner moves its home there,
+    #: reusing the Pending/relocation machinery.
+    home_policy: str = "first_touch"
     costs: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
+        if self.barrier not in ("flat", "tree"):
+            raise ConfigError(
+                f"unknown barrier topology {self.barrier!r}; "
+                f"choose 'flat' or 'tree'")
+        if self.home_policy not in ("first_touch", "round_robin", "migrate"):
+            raise ConfigError(
+                f"unknown home policy {self.home_policy!r}; choose "
+                f"'first_touch', 'round_robin', or 'migrate'")
         if self.nodes < 1:
             raise ConfigError("need at least one node")
         if self.procs_per_node < 1:

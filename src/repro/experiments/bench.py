@@ -14,6 +14,13 @@ runs:
     has never touched, so every access takes the full protocol path.
 ``barrier``
     Barrier episodes with no data access: synchronization machinery only.
+``directory``
+    Directory entry operations (permission updates, sharer scans,
+    occupancy) at 8, 64, and 512 owners: the sparse O(sharers) entries'
+    per-access cost must stay near-flat in cluster size (the
+    ``flatness`` ratio gates CI, see
+    :data:`DIRECTORY_FLATNESS_FACTOR`); the dense O(num_owners) form is
+    timed once at 512 owners for reference.
 ``sor32`` / ``water32``
     Full 32-processor (8 nodes x 4) runs under 2L with default problem
     sizes; also reports simulated-us per wall-second (simulator
@@ -70,6 +77,8 @@ from ..config import MachineConfig
 from ..apps import make_app
 from ..cluster.machine import Cluster
 from ..protocol import make_protocol
+from ..protocol.directory import GlobalDirectory
+from ..vm.page import Perm
 from ..runtime.api import fastpath_enabled, lowering_enabled
 from ..runtime.env import WorkerEnv
 from ..runtime.program import ParallelRuntime, run_app
@@ -88,6 +97,19 @@ SCHEMA = "cashmere-bench-3"
 #: CI regression gate: fail when the access microbenchmark is more than
 #: this factor slower than the committed baseline.
 ACCESS_REGRESSION_FACTOR = 2.0
+
+#: Host-independent directory-scaling gate: sparse O(sharers) entries
+#: must keep the per-update cost at 512 owners within this factor of
+#: the 8-owner cost (measured ≈1x — the sparse form never touches a
+#: num_owners-sized structure; the dense form reads ~40x here).
+DIRECTORY_FLATNESS_FACTOR = 3.0
+
+
+def report_stamp() -> str:
+    """Wall-time stamp for ``BENCH_*.json`` provenance. Lives here (a
+    sanctioned real-time module, see D101) so other report writers —
+    e.g. the scale family — never read the clock themselves."""
+    return time.strftime("%Y-%m-%dT%H:%M:%S")
 
 #: CI lowering gate: the lowered solo SOR band run must beat the
 #: interpreted one by at least this wall-clock factor. Host-independent
@@ -146,7 +168,7 @@ class BenchReport:
             benchmarks[r.name] = entry
         out = {
             "schema": SCHEMA,
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "timestamp": report_stamp(),
             "python": sys.version.split()[0],
             "numpy": np.__version__,
             "platform": platform.platform(),
@@ -234,6 +256,18 @@ class BenchReport:
                     f"{interp.wall_s:.4f}s "
                     f"(expected >= {LOWERING_SPEEDUP_FACTOR}x speedup) — "
                     f"the batched executor is not batching")
+        # Host-independent directory-scaling gate: both owner counts run
+        # in the same process, only their ratio gates (measured ≈1x).
+        directory = self.result("directory")
+        if directory is not None and directory.extra:
+            flatness = directory.extra.get("flatness")
+            if flatness is not None and \
+                    flatness > DIRECTORY_FLATNESS_FACTOR:
+                return (f"directory per-access cost not flat in cluster "
+                        f"size: 512-owner ops cost {flatness}x the "
+                        f"8-owner ops (expected <= "
+                        f"{DIRECTORY_FLATNESS_FACTOR}x) — the sparse "
+                        f"entries are scanning owner-sized state")
         if self.baseline is None:
             return None
         access = self.result("access")
@@ -293,6 +327,65 @@ def bench_access(ops: int = 200_000) -> float:
         env.set_block(arr, 0, vals)
         env.get_block(arr, 0, 16)
     return proc.clock
+
+
+def _directory_ops(num_owners: int, pages: int, ops: int,
+                   dense: bool = False) -> None:
+    """Exercise the directory entry operations one coherence
+    transition performs: permission reads and writes, sharer scans,
+    exclusive-holder queries, and the occupancy sweep.
+
+    The op mix touches at most 4 sharers per page regardless of
+    ``num_owners`` — the realistic regime (Table 3's applications
+    average ~2) where the sparse entries' O(sharers) bound means the
+    cost must not grow with the owner count."""
+    cfg = MachineConfig(nodes=2, procs_per_node=2, page_bytes=512,
+                        shared_bytes=512 * pages)
+    directory = GlobalDirectory(cfg, num_owners, dense=dense)
+    sharers = min(4, num_owners)
+    for i in range(ops):
+        entry = directory.entry(i % pages)
+        owner = (i * 7) % sharers
+        entry.set_perm(owner, Perm.READ if i & 1 else Perm.WRITE)
+        entry.perm_of(owner)
+        entry.sharers()
+        entry.has_other_sharer(owner)
+        entry.exclusive_holder()
+        if i & 7 == 0:
+            entry.set_perm(owner, Perm.INVALID)
+    directory.occupancy()
+
+
+def bench_directory(reps: int, quick: bool = False) -> BenchResult:
+    """Directory metadata cost vs cluster size: the sparse-entry bench.
+
+    Runs the same op mix at 8, 64, and 512 owners and reports the
+    per-op cost of each; the ``flatness`` ratio (512-owner cost over
+    8-owner cost) carries the CI gate — sparse entries never touch a
+    ``num_owners``-sized structure on the access path, so the ratio
+    must stay near 1 on any host (see
+    :data:`DIRECTORY_FLATNESS_FACTOR`). A single dense-form rep at 512
+    owners is timed alongside for the report (the O(num_owners)
+    reference the sparse form replaces)."""
+    pages = 64
+    ops = 20_000 if quick else 80_000
+    per_op_us = {}
+    wall_512 = 0.0
+    for owners in (8, 64, 512):
+        wall = _best_of(lambda: _directory_ops(owners, pages, ops), reps)
+        per_op_us[owners] = wall * 1e6 / ops
+        if owners == 512:
+            wall_512 = wall
+    dense_wall = _best_of(
+        lambda: _directory_ops(512, pages, ops, dense=True), 1)
+    return BenchResult(
+        "directory", wall_512, reps,
+        extra={"ops": ops,
+               "per_op_us_8": round(per_op_us[8], 4),
+               "per_op_us_64": round(per_op_us[64], 4),
+               "per_op_us_512": round(per_op_us[512], 4),
+               "flatness": round(per_op_us[512] / per_op_us[8], 2),
+               "dense_per_op_us_512": round(dense_wall * 1e6 / ops, 4)})
 
 
 def bench_fault_storm(rounds: int = 12, nodes: int = 2, ppn: int = 2,
@@ -567,6 +660,9 @@ def run_bench(quick: bool = False, baseline_path: str | None = None,
     barrier_run = tracked(lambda: bench_barrier(episodes))
     report.results.append(BenchResult(
         "barrier", _best_of(barrier_run, reps), reps, sim_us=sim_us[0]))
+
+    note("directory")
+    report.results.append(bench_directory(reps, quick))
 
     note("sor32")
     sor_run = tracked(lambda: _full_run("SOR", small=quick))

@@ -9,6 +9,7 @@ Usage (installed as ``cashmere-repro``)::
     cashmere-repro figure7 [APP ...] [--quick]
     cashmere-repro shootdown
     cashmere-repro lockfree
+    cashmere-repro scale   [APP ...] [--quick] [--json [BENCH_scale.json]]
     cashmere-repro all     [--quick]
     cashmere-repro trace APP [--out trace.json] [--protocol 2L]
                              [--faults SEED]
@@ -174,7 +175,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment",
                         choices=["table1", "table2", "table3", "figure6",
                                  "figure7", "shootdown", "lockfree",
-                                 "sensitivity", "polling", "all",
+                                 "sensitivity", "polling", "scale", "all",
                                  "trace", "profile", "bench", "lint",
                                  "modelcheck"])
     parser.add_argument("apps", nargs="*",
@@ -284,6 +285,30 @@ def main(argv: list[str] | None = None) -> int:
             print(report.format())
         print(f"[{wall_clock() - start:.1f}s wall clock]", file=sys.stderr)
         return 0 if report.ok else 1
+    if args.experiment == "scale":
+        from .scale import SCALE_APPS, run_scale
+        apps = tuple(resolve_app_name(a) for a in args.apps) or SCALE_APPS
+        for a in apps:
+            if a not in SCALE_APPS:
+                raise SystemExit(f"scale supports {list(SCALE_APPS)}; "
+                                 f"{a!r} cannot feed 512 processors")
+        sweep = Sweep(jobs=args.jobs,
+                      cache=None if args.no_cache else ResultCache(
+                          mode="refresh" if args.refresh else "on"))
+        result = run_scale(apps=apps, quick=args.quick, sweep=sweep)
+        if isinstance(args.as_json, str):
+            with open(args.as_json, "w") as fh:
+                json.dump(result.to_bench_json(), fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.as_json}")
+        elif args.as_json:
+            print(json.dumps(result.to_bench_json(), indent=2))
+        else:
+            print(result.format())
+        print(f"[{sweep.stats.summary(sweep.cache is not None)}]",
+              file=sys.stderr)
+        print(f"[{wall_clock() - start:.1f}s wall clock]", file=sys.stderr)
+        return 0
     if args.experiment in ("trace", "profile"):
         if len(args.apps) != 1:
             raise SystemExit(

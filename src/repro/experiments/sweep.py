@@ -49,7 +49,9 @@ from ..runtime.program import run_app
 from ..runtime.sequential import run_sequential
 
 #: Bump when the CellResult layout or the key derivation changes.
-CACHE_SCHEMA = "cashmere-sweep-1"
+#: 2: CellResult gained the ``scale`` dict (directory occupancy,
+#: barrier cost, MC traffic — the scale experiment family's series).
+CACHE_SCHEMA = "cashmere-sweep-2"
 
 #: Default on-disk cache location (relative to the working directory),
 #: unless ``CASHMERE_CACHE_DIR`` says otherwise.
@@ -155,6 +157,9 @@ class CellResult:
     shared_kbytes: float | None = None
     #: ``table1`` cells: the full Table1Results object.
     payload: object | None = None
+    #: Big-cluster scaling series (the ``scale`` experiment): end-of-run
+    #: directory occupancy, barrier episode cost, and MC traffic.
+    scale: dict | None = None
 
 
 def execute_cell(spec: RunSpec) -> CellResult:
@@ -177,10 +182,25 @@ def execute_cell(spec: RunSpec) -> CellResult:
     run = run_app(app, params, config, spec.protocol,
                   lock_free=spec.lock_free, home_opt=spec.home_opt)
     stats = run.stats
+    rt = run.runtime
+    per_owner, histogram = rt.protocol.directory.occupancy()
+    barrier = rt.barrier
+    scale = {
+        "procs": config.total_procs,
+        "mc_traffic_bytes": sum(stats.mc_traffic_bytes.values()),
+        "dir_histogram": histogram,
+        "dir_sharers": sum(per_owner),
+        "dir_pages": len(rt.protocol.directory.entries),
+        "barrier_episodes": barrier.episodes,
+        "barrier_depart_us": barrier.depart_latency_us,
+        "barrier_combine_hops":
+            stats.aggregate.counters["barrier_combine_hops"],
+    }
     return CellResult(exec_time_us=stats.exec_time_us,
                       table3=stats.table3_row(),
                       buckets=dict(stats.aggregate.buckets),
-                      total_time=stats.aggregate.total_time)
+                      total_time=stats.aggregate.total_time,
+                      scale=scale)
 
 
 # --- content-addressed cache --------------------------------------------------

@@ -111,6 +111,13 @@ class RegionKernel:
         interpreter is byte-identical, so falling back is free. The
         decision uses the class's last measured steps-per-batch ratio,
         with a periodic probe so changed schedules are re-detected.
+
+        This is the *reference* form of the policy. The runtime hot
+        path (``WorkerEnv.run_region``) inlines an equivalent hoisted
+        decision — a bare ratio-vs-threshold compare in the lowered
+        steady state, with the probe countdown kept per (env, kernel
+        class) and only in the interpreting regime — so no per-entry
+        counter increment or modulo runs on lockstep schedules.
         """
         cls = type(self)
         k = cls._adapt_execs

@@ -56,6 +56,7 @@ TRACKED_COUNTERS = (
     "requests_served",
     "lock_acquires",
     "barriers_crossed",
+    "barrier_combine_hops",
     "request_naks",
     "request_retries",
     "notice_resyncs",

@@ -220,7 +220,12 @@ class RunStore:
         counters: dict = {}
         for name, entry in report.get("benchmarks", {}).items():
             for key in ("wall_s", "sim_us", "sim_us_per_wall_s", "hits",
-                        "misses", "executed", "cells", "jobs", "speedup"):
+                        "misses", "executed", "cells", "jobs", "speedup",
+                        # scale-family and directory-bench series:
+                        "procs", "mc_mbytes", "barrier_us_per_episode",
+                        "sharers_per_page", "per_op_us_8",
+                        "per_op_us_64", "per_op_us_512", "flatness",
+                        "dense_per_op_us_512"):
                 value = entry.get(key)
                 if isinstance(value, (int, float)):
                     counters[f"{name}.{key}"] = value

@@ -142,21 +142,15 @@ class Cashmere2L(BaseProtocol):
 
         entry = self.directory.entry(page)
         self._await_not_pending(proc, entry)
-        my_word = entry.words[st.owner]
-
         # Already exclusive on this node: map with no protocol overhead.
-        if my_word.excl_holder != NO_HOLDER:
+        if entry.excl_of(st.owner) != NO_HOLDER:
             self._map_write(proc, st, page)
             return
 
         self._fetch_if_stale(proc, st, page, ns)
 
         meta = ns.meta_for(page)
-        has_other_sharer = False
-        for o, word in enumerate(entry.words):
-            if o != st.owner and word.perm >= Perm.READ:
-                has_other_sharer = True
-                break
+        has_other_sharer = entry.has_other_sharer(st.owner)
         holder = entry.exclusive_holder()
         can_go_exclusive = (not has_other_sharer and holder is None
                             and meta.twin is None
@@ -165,7 +159,7 @@ class Cashmere2L(BaseProtocol):
                             and not entry.is_pending(proc.clock))
         if can_go_exclusive:
             entry.set_excl(st.owner, proc.global_id)
-            my_word.perm = Perm.WRITE
+            entry.set_perm(st.owner, Perm.WRITE)
             self._charge_dir_update(proc)
             proc.stats.bump("excl_transitions")
             st.excl_pages.add(page)
@@ -291,12 +285,12 @@ class Cashmere2L(BaseProtocol):
 
         def handler(server: Processor, at: float):
             entry = self.directory.entry(page)
-            word = entry.words[holder_owner]
-            if word.excl_holder == NO_HOLDER:
+            holder_pid = entry.excl_of(holder_owner)
+            if holder_pid == NO_HOLDER:
                 # Raced with another break request; nothing left to do.
                 return self.master(page).copy(), 2.0, page_bytes
             hns = self.node_state[holder_owner]
-            hst = self._ps[word.excl_holder]
+            hst = self._ps[holder_pid]
             frame = self.frames.frame(holder_owner, page)
             cost = 0.0
 
@@ -419,7 +413,7 @@ class Cashmere2L(BaseProtocol):
             entry = self.directory.entry(page)
             if entry.home_owner == st.owner:
                 continue  # home works on the master copy, never stale
-            if entry.words[st.owner].excl_holder != NO_HOLDER:
+            if entry.excl_of(st.owner) != NO_HOLDER:
                 continue  # our exclusive copy is the freshest there is
             targets = table.mapped(page)
             if not targets:
@@ -495,7 +489,7 @@ class Cashmere2L(BaseProtocol):
     def _consider_flush(self, proc: Processor, st: ProcProtoState,
                         ns: NodeState2L, page: int) -> None:
         entry = self.directory.entry(page)
-        if entry.words[st.owner].excl_holder != NO_HOLDER:
+        if entry.excl_of(st.owner) != NO_HOLDER:
             return  # exclusive pages generate no flushes or notices
         meta = ns.meta_for(page)
         if meta.flush_ts > ns.last_release_ts:
@@ -525,13 +519,24 @@ class Cashmere2L(BaseProtocol):
 
         if home != st.owner:
             if meta.twin is None:
-                if not self.shootdown:
+                if self.shootdown:
+                    # 2LS: an earlier shootdown already flushed these
+                    # changes and discarded the twin; only the notices
+                    # remain.
+                    self._send_write_notices(proc, st, page)
+                    return
+                if table.writers(page):
                     raise ProtocolError(
                         f"flush of page {page} on owner {st.owner} "
                         f"without twin")
-                # 2LS: an earlier shootdown already flushed these changes
-                # and discarded the twin; only the notices remain.
-                self._send_write_notices(proc, st, page)
+                # 2L: a peer's last-writer flush already carried these
+                # modifications home (diff + write notices) and dropped
+                # the node twin while this dirty record sat behind an
+                # acquire-side invalidation. The per-node
+                # ``last_release_ts`` guard in _consider_flush cannot see
+                # that flush once this release's own tick has advanced the
+                # clock, so catch it here: with no twin and no local write
+                # mappings the node holds nothing unflushed.
                 return
             frame = st.frames[page]
             others = [w for w in table.writers(page) if w != st.lidx]
@@ -553,6 +558,8 @@ class Cashmere2L(BaseProtocol):
                             "protocol")
                 self._account_diff(proc, meta, diff, page)
                 meta.twin = None  # last writer: the twin is garbage now
+            if self._migrate_policy:
+                self._note_remote_flush(page, st.owner)
 
         # Write notices to every sharing node except us and the home.
         self._send_write_notices(proc, st, page)

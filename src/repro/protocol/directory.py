@@ -21,13 +21,40 @@ The simulation keeps one authoritative copy and performs updates
 atomically at handler time; the Memory Channel's 5.2 us propagation shows
 up in the costs and traffic accounting. This matches the protocol's
 tolerance of briefly stale directory views.
+
+Representation (DESIGN.md §15)
+------------------------------
+On the wire an entry is always ``num_owners`` words; in simulator memory
+it need not be. The default :class:`DirEntry` is **sparse**: it stores
+only the owners whose permission is READ or better (a dict keyed by
+owner) plus the single cached exclusive holder, so entry size,
+``sharers()``, the tighten/loosen scans, and
+:meth:`GlobalDirectory.occupancy` cost O(sharers) instead of
+O(num_owners). On a 64-node cluster where a typical page has one or two
+sharers this is the difference between a 512-processor run being
+tractable and every directory touch paying a 64-wide scan. Sparseness is
+purely a storage optimization: the wire accounting
+(:meth:`GlobalDirectory.broadcast_bytes`) still charges one word per
+replica, and every observable — permissions, holders, occupancy,
+statistics, result bytes — is byte-identical to the dense form.
+
+The dense form survives as :class:`DenseDirEntry` behind the
+``CASHMERE_DENSE_DIR`` debug flag (or ``GlobalDirectory(dense=True)``)
+for differential testing: ``tests/test_directory.py`` drives both forms
+through randomized update sequences and asserts identical answers.
+
+Both forms expose the same accessor protocol — ``perm_of``/``set_perm``,
+``excl_of``/``set_excl``/``clear_excl``, ``sharers``,
+``has_other_sharer``, ``exclusive_holder``, ``state_tuple`` — and the
+protocols only ever go through it; nothing outside this module indexes
+directory words directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..config import MachineConfig
+from ..config import MachineConfig, env_flag
 from ..errors import ProtocolError
 from ..sim.engine import SerialResource
 from ..vm.page import Perm
@@ -38,38 +65,16 @@ NO_HOLDER = -1
 
 @dataclass(slots=True)
 class DirWord:
-    """One owner's view of a page (one 32-bit MC word)."""
+    """One owner's view of a page (one 32-bit MC word) — dense form."""
 
     perm: Perm = Perm.INVALID
     excl_holder: int = NO_HOLDER  # global processor id, or NO_HOLDER
 
 
-@dataclass(slots=True)
-class DirEntry:
-    """A page's full directory entry: one word per owner plus home info."""
+class _EntryOps:
+    """Operations shared by the sparse and dense entry forms."""
 
-    words: list[DirWord]
-    home_owner: int
-    home_is_default: bool = True
-    #: Cached (owner, processor) of the current exclusive holder, kept in
-    #: lockstep with the per-word ``excl_holder`` fields by
-    #: :meth:`set_excl` / :meth:`clear_excl` — the fault path queries the
-    #: holder on every fault, and a word scan there costs more than the
-    #: whole rest of the lookup. Derived lazily from the words on first
-    #: use (``excl_known``), so entries built with pre-set words agree.
-    excl: "tuple[int, int] | None" = None
-    excl_known: bool = False
-    #: Transient (Pending) state, FLASH-style (SNIPPETS.md Snippet 3):
-    #: under fault injection, a transaction that rewrites this entry in
-    #: multiple ordered steps (an exclusive-mode break, a home
-    #: relocation) marks the entry pending until its final write is
-    #: globally visible. Concurrent requesters that *read* the pending
-    #: state must take the timeout path (wait out the window, then
-    #: retry; see ``BaseProtocol._await_not_pending``) instead of acting
-    #: on a half-updated entry. Never set on fault-free runs — the
-    #: window that makes it observable only opens under injected
-    #: reordering — so clean executions are untouched.
-    pending_until: float = 0.0
+    __slots__ = ()
 
     def is_pending(self, at: float) -> bool:
         """Whether the entry is mid-transaction at simulated time ``at``."""
@@ -80,12 +85,168 @@ class DirEntry:
         if until > self.pending_until:
             self.pending_until = until
 
+    def excl_of(self, owner: int) -> int:
+        """``owner``'s exclusive-holder word field: the global processor
+        id if ``owner`` holds the page exclusively, else NO_HOLDER."""
+        holder = self.exclusive_holder()
+        return holder[1] if holder is not None and holder[0] == owner \
+            else NO_HOLDER
+
+    def has_other_sharer(self, owner: int) -> bool:
+        """Whether any owner besides ``owner`` maps the page."""
+        for o in self.sharers():
+            if o != owner:
+                return True
+        return False
+
+
+class DirEntry(_EntryOps):
+    """A page's directory entry, sparse form (the default).
+
+    Stores only the owners whose loosest permission is READ or better
+    (``perms``: owner -> Perm, never holding INVALID) plus the cached
+    ``(owner, processor)`` exclusive holder. Invariants:
+
+    * ``perms[o]`` exists iff owner *o*'s directory word would say READ
+      or WRITE — so ``sharers()`` is just the (sorted) key set;
+    * at most one owner holds the page exclusively, and ``excl`` *is*
+      that fact — there is no per-word holder field to drift from it
+      (``set_excl`` raises the same corruption error the dense form's
+      word scan would);
+    * entry size is O(sharers), independent of ``num_owners``.
+    """
+
+    __slots__ = ("home_owner", "home_is_default", "perms", "excl",
+                 "pending_until")
+
+    def __init__(self, home_owner: int, home_is_default: bool = True) -> None:
+        self.home_owner = home_owner
+        self.home_is_default = home_is_default
+        #: owner -> loosest Perm; only owners with perm > INVALID appear.
+        self.perms: dict[int, Perm] = {}
+        #: Cached (owner, processor) of the current exclusive holder. The
+        #: fault path queries the holder on every fault; keeping it as a
+        #: single field makes that O(1) and makes a two-holder state
+        #: unrepresentable.
+        self.excl: tuple[int, int] | None = None
+        #: Transient (Pending) state, FLASH-style (SNIPPETS.md Snippet 3):
+        #: under fault injection, a transaction that rewrites this entry
+        #: in multiple ordered steps (an exclusive-mode break, a home
+        #: relocation) marks the entry pending until its final write is
+        #: globally visible; concurrent requesters that read the pending
+        #: state take the timeout path (``BaseProtocol._await_not_pending``)
+        #: instead of acting on a half-updated entry. Never set on
+        #: fault-free runs.
+        self.pending_until: float = 0.0
+
+    # --- accessor protocol -------------------------------------------------
+
+    def perm_of(self, owner: int) -> Perm:
+        """``owner``'s loosest permission for the page."""
+        return self.perms.get(owner, Perm.INVALID)
+
+    def set_perm(self, owner: int, perm: Perm) -> None:
+        """Write ``owner``'s directory word's permission field."""
+        if perm > Perm.INVALID:
+            self.perms[owner] = perm
+        else:
+            self.perms.pop(owner, None)
+
     def sharers(self) -> list[int]:
-        """Owners whose loosest permission is READ or better."""
-        return [i for i, w in enumerate(self.words) if w.perm >= Perm.READ]
+        """Owners whose loosest permission is READ or better, ascending."""
+        return sorted(self.perms)
+
+    def has_other_sharer(self, owner: int) -> bool:
+        perms = self.perms
+        return len(perms) > 1 or (len(perms) == 1 and owner not in perms)
 
     def exclusive_holder(self) -> tuple[int, int] | None:
         """(owner, processor) currently holding the page exclusively."""
+        return self.excl
+
+    def excl_of(self, owner: int) -> int:
+        excl = self.excl
+        return excl[1] if excl is not None and excl[0] == owner \
+            else NO_HOLDER
+
+    def set_excl(self, owner: int, proc: int) -> None:
+        """Record ``proc`` (on ``owner``) as the exclusive holder."""
+        if self.excl is not None and self.excl[0] != owner:
+            raise ProtocolError(
+                f"directory corrupt: exclusive holders on owners "
+                f"{[self.excl[0], owner]}")
+        self.excl = (owner, proc)
+
+    def clear_excl(self, owner: int) -> None:
+        """Drop ``owner``'s exclusive holding (no-op if not the holder)."""
+        if self.excl is not None and self.excl[0] == owner:
+            self.excl = None
+
+    def state_tuple(self) -> tuple:
+        """Canonical hashable form for state digests (the model checker's
+        ``state_key``). Identical for sparse and dense entries holding
+        the same logical state."""
+        return (tuple(sorted((o, int(p)) for o, p in self.perms.items())),
+                self.excl)
+
+    def occupancy_into(self, per_owner: list[int]) -> int:
+        """Add this entry's sharers to ``per_owner`` and return the
+        page-state histogram bucket (0 invalid, 1 read, 2 write,
+        3 exclusive). O(sharers)."""
+        loosest = Perm.INVALID
+        for owner, perm in self.perms.items():
+            per_owner[owner] += 1
+            if perm > loosest:
+                loosest = perm
+        if self.excl is not None:
+            return 3
+        if loosest >= Perm.WRITE:
+            return 2
+        if loosest >= Perm.READ:
+            return 1
+        return 0
+
+
+class DenseDirEntry(_EntryOps):
+    """The dense (one :class:`DirWord` per owner) entry form.
+
+    Kept behind the ``CASHMERE_DENSE_DIR`` debug flag as the
+    differential-testing reference: it is the paper's literal layout,
+    pays O(num_owners) per scan, and must agree with :class:`DirEntry`
+    on every accessor for every update sequence.
+    """
+
+    __slots__ = ("words", "home_owner", "home_is_default", "excl",
+                 "excl_known", "pending_until")
+
+    def __init__(self, home_owner: int, home_is_default: bool = True, *,
+                 num_owners: int = 0,
+                 words: "list[DirWord] | None" = None) -> None:
+        self.home_owner = home_owner
+        self.home_is_default = home_is_default
+        self.words: list[DirWord] = (
+            words if words is not None
+            else [DirWord() for _ in range(num_owners)])
+        # Cached (owner, processor) of the current exclusive holder, kept
+        # in lockstep with the per-word ``excl_holder`` fields by
+        # set_excl/clear_excl; derived lazily from the words on first use
+        # (``excl_known``), so entries built with pre-set words agree.
+        self.excl: tuple[int, int] | None = None
+        self.excl_known = False
+        self.pending_until = 0.0
+
+    # --- accessor protocol -------------------------------------------------
+
+    def perm_of(self, owner: int) -> Perm:
+        return self.words[owner].perm
+
+    def set_perm(self, owner: int, perm: Perm) -> None:
+        self.words[owner].perm = perm
+
+    def sharers(self) -> list[int]:
+        return [i for i, w in enumerate(self.words) if w.perm >= Perm.READ]
+
+    def exclusive_holder(self) -> tuple[int, int] | None:
         if not self.excl_known:
             self._derive_excl()
         return self.excl
@@ -101,7 +262,6 @@ class DirEntry:
         self.excl_known = True
 
     def set_excl(self, owner: int, proc: int) -> None:
-        """Record ``proc`` (on ``owner``) as the exclusive holder."""
         if not self.excl_known:
             self._derive_excl()
         if self.excl is not None and self.excl[0] != owner:
@@ -112,12 +272,35 @@ class DirEntry:
         self.excl = (owner, proc)
 
     def clear_excl(self, owner: int) -> None:
-        """Drop ``owner``'s exclusive holding (no-op if not the holder)."""
         if not self.excl_known:
             self._derive_excl()
         self.words[owner].excl_holder = NO_HOLDER
         if self.excl is not None and self.excl[0] == owner:
             self.excl = None
+
+    def state_tuple(self) -> tuple:
+        return (tuple(sorted(
+            (o, int(w.perm)) for o, w in enumerate(self.words)
+            if w.perm > Perm.INVALID)),
+            self.exclusive_holder())
+
+    def occupancy_into(self, per_owner: list[int]) -> int:
+        loosest = Perm.INVALID
+        exclusive = False
+        for owner, word in enumerate(self.words):
+            if word.perm >= Perm.READ:
+                per_owner[owner] += 1
+            if word.perm > loosest:
+                loosest = word.perm
+            if word.excl_holder != NO_HOLDER:
+                exclusive = True
+        if exclusive:
+            return 3
+        if loosest >= Perm.WRITE:
+            return 2
+        if loosest >= Perm.READ:
+            return 1
+        return 0
 
 
 class GlobalDirectory:
@@ -127,24 +310,35 @@ class GlobalDirectory:
     through :meth:`update`, which charges the measured modification cost
     (optionally under the global-lock ablation model) and accounts the
     broadcast traffic.
+
+    ``dense`` selects the entry representation: ``None`` (default) uses
+    the sparse form unless the ``CASHMERE_DENSE_DIR`` debug flag is set;
+    ``True``/``False`` force it for differential tests. Both forms are
+    byte-identical in every observable.
     """
 
     def __init__(self, config: MachineConfig, num_owners: int,
-                 lock_model: "DirectoryLockModel | None" = None) -> None:
+                 lock_model: "DirectoryLockModel | None" = None,
+                 dense: "bool | None" = None) -> None:
         self.config = config
         self.num_owners = num_owners
         self.lock_model = lock_model
+        if dense is None:
+            dense = env_flag("CASHMERE_DENSE_DIR")
+        self.dense = dense
         pages = config.num_pages
         per_super = config.superpage_pages
-        self.entries: list[DirEntry] = []
+        self.entries: list = []
         for page in range(pages):
             # Round-robin initial home assignment, per superpage (Section 2.3).
             home = (page // per_super) % num_owners
-            self.entries.append(DirEntry(
-                words=[DirWord() for _ in range(num_owners)],
-                home_owner=home))
+            if dense:
+                self.entries.append(DenseDirEntry(
+                    home, num_owners=num_owners))
+            else:
+                self.entries.append(DirEntry(home))
 
-    def entry(self, page: int) -> DirEntry:
+    def entry(self, page: int):
         return self.entries[page]
 
     def home(self, page: int) -> int:
@@ -162,7 +356,11 @@ class GlobalDirectory:
         return self.lock_model.update_cost(proc.clock)
 
     def broadcast_bytes(self) -> int:
-        """Wire bytes for one entry modification (word × replicas)."""
+        """Wire bytes for one entry modification (word × replicas).
+
+        Wire semantics, not storage: the broadcast always writes one
+        word per replica regardless of the in-memory entry form.
+        """
         return 4 * self.num_owners
 
     def occupancy(self) -> tuple[list[int], list[int]]:
@@ -172,28 +370,13 @@ class GlobalDirectory:
         pages owner *i* currently maps (its directory word says READ or
         better), and ``histogram`` buckets every page by its loosest
         cluster-wide state — ``[invalid, read, write, exclusive]``.
-        Read-only: one pass over the replicated words, no cached state.
+        Read-only, and O(total sharers) with sparse entries: a page with
+        no sharers costs one dict iteration, not a ``num_owners`` scan.
         """
         per_owner = [0] * self.num_owners
         histogram = [0, 0, 0, 0]
         for entry in self.entries:
-            loosest = Perm.INVALID
-            exclusive = False
-            for owner, word in enumerate(entry.words):
-                if word.perm >= Perm.READ:
-                    per_owner[owner] += 1
-                if word.perm > loosest:
-                    loosest = word.perm
-                if word.excl_holder != NO_HOLDER:
-                    exclusive = True
-            if exclusive:
-                histogram[3] += 1
-            elif loosest >= Perm.WRITE:
-                histogram[2] += 1
-            elif loosest >= Perm.READ:
-                histogram[1] += 1
-            else:
-                histogram[0] += 1
+            histogram[entry.occupancy_into(per_owner)] += 1
         return per_owner, histogram
 
 

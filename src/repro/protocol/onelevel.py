@@ -271,8 +271,7 @@ class OneLevelProtocol(BaseProtocol):
 
         def handler(server: Processor, at: float):
             entry = self.directory.entry(page)
-            word = entry.words[holder_owner]
-            if word.excl_holder == NO_HOLDER:
+            if entry.excl_of(holder_owner) == NO_HOLDER:
                 return self.masters[page].copy(), 2.0, page_bytes
             frame = self.frames.frame(holder_owner, page)
             cost = self.config.page_copy_cost()
@@ -361,7 +360,7 @@ class OneLevelProtocol(BaseProtocol):
             if self._uses_master(st, page):
                 continue
             entry = self.directory.entry(page)
-            if entry.words[st.owner].excl_holder != NO_HOLDER:
+            if entry.excl_of(st.owner) != NO_HOLDER:
                 continue  # we hold it exclusively; nobody else wrote it
             st.notices.add(page)
 
@@ -413,6 +412,8 @@ class OneLevelProtocol(BaseProtocol):
                     if send_done > proc.clock:
                         proc.charge(send_done - proc.clock, "comm_wait")
                 self.meta[st.owner].twins.pop(page, None)
+                if self._migrate_policy and home_owner != st.owner:
+                    self._note_remote_flush(page, st.owner)
 
         # Write notices to sharers that do not already hold one.
         if sharers:
@@ -432,8 +433,7 @@ class OneLevelProtocol(BaseProtocol):
             # No other sharers: the page enters exclusive mode and leaves
             # coherence until another processor asks for it. A pending
             # write notice disqualifies it: our copy would be stale.
-            word = entry.words[st.owner]
-            if (word.excl_holder == NO_HOLDER
+            if (entry.excl_of(st.owner) == NO_HOLDER
                     and not self._notices_pending(st.owner, page)
                     and not entry.is_pending(proc.clock)):
                 entry.set_excl(st.owner, proc.global_id)

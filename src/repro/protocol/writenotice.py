@@ -89,13 +89,31 @@ class NoticeBoard:
                                    to_owner=self.owner)
 
     def collect(self, upto: float) -> list[WriteNotice]:
-        """Consume every notice visible by time ``upto`` (bin order)."""
+        """Consume every notice visible by time ``upto`` (bin order).
+
+        A bin holds one remote *node*'s notices in post (event) order,
+        but distinct processors of that node release at unordered
+        simulated clocks, so ``visible_at`` is not monotone within a
+        bin — Memory Channel ordering is per-source-processor, not
+        per-node. A visible notice parked behind a not-yet-visible one
+        must still be delivered: skipping it lets an acquirer that just
+        took the poster's lock miss the invalidation and read a stale
+        page (a lost update the race checker later flags).
+        """
         if self._consumed == self.posted:
             return _EMPTY_NOTICES
         found: list[WriteNotice] = []
         for bin_ in self.bins:
+            # Fast path: the (common) monotone prefix.
             while bin_ and bin_[0].visible_at <= upto:
                 found.append(bin_.popleft())
+            if len(bin_) > 1:
+                ripe = [wn for wn in bin_ if wn.visible_at <= upto]
+                if ripe:
+                    unripe = [wn for wn in bin_ if wn.visible_at > upto]
+                    bin_.clear()
+                    bin_.extend(unripe)
+                    found.extend(ripe)
         self._consumed += len(found)
         return found
 

@@ -86,6 +86,12 @@ class WorkerEnv:
         #: so its writes cannot be batched into direct frame stores).
         self._lowering = (getattr(runtime, "lowering", False)
                           and self._fast_read and self._fast_write)
+        #: Hoisted adaptive-policy state (per env, per kernel class):
+        #: region entries remaining before the next interpreted schedule
+        #: re-probes the batched executor. Populated only for kernel
+        #: classes currently in the interpreting (degenerate-schedule)
+        #: regime — the lowered steady state never touches it.
+        self._region_probe: dict[type, int] = {}
         #: Generation snapshots, held in one-element lists so the
         #: closure-compiled warm paths below and the cold-path refill
         #: helpers share one mutable cell.
@@ -449,11 +455,30 @@ class WorkerEnv:
         A region with no steps (``kernel.n == 0``) is skipped entirely,
         in both modes — the region-level equivalent of the ``if my_work:``
         guard workers used to wrap around their loops.
+
+        The adaptive decision (:meth:`RegionKernel.want_lowered` is the
+        reference form) is hoisted out of the hot path: in the lowered
+        steady state the entry check is a single class-attribute
+        comparison — every batched execution refreshes the measured
+        steps-per-batch ratio anyway, so no per-entry counter or probe
+        bookkeeping is needed. Only the interpreting (degenerate
+        lockstep-schedule) regime keeps a per-(env, kernel-class)
+        countdown, re-probing the batched executor once every
+        ``_adapt_probe`` region entries so a changed schedule can
+        re-earn batching.
         """
         if kernel.n <= 0:
             return iter(())
-        if self._lowering and kernel.want_lowered():
-            return region_instruction(kernel, self)
+        if self._lowering:
+            cls = type(kernel)
+            if cls._adapt_ratio >= cls._adapt_threshold:
+                return region_instruction(kernel, self)
+            left = self._region_probe.get(cls, 0)
+            if left <= 0:
+                # Periodic probe: run batched once to re-measure.
+                self._region_probe[cls] = cls._adapt_probe - 1
+                return region_instruction(kernel, self)
+            self._region_probe[cls] = left - 1
         return kernel.interp(self)
 
     # --- synchronization --------------------------------------------------------------

@@ -28,6 +28,7 @@ COUNTER_NAMES = (
     "flag_acquires",        # subset of the above, kept separately too
     "barriers",             # Barriers (episodes)
     "barriers_crossed",     # per-processor barrier crossings
+    "barrier_combine_hops",  # tree-barrier combine writes (barrier="tree")
     "read_faults",          # Read Faults
     "write_faults",         # Write Faults
     "page_transfers",       # Page Transfers

@@ -13,6 +13,20 @@ Under the one-level protocols every processor is its own "node", so the
 barrier degenerates to a flat array with one entry per processor —
 cheaper at 2 processors (no local phase) but more expensive at 32
 (Table 1: 41 us vs 58 us at 2 processors, 364 us vs 321 us at 32).
+
+Topologies (DESIGN.md §15). The paper's barrier is **flat**: one
+arrival array, every departing processor rescans all of it
+(``barrier_spin`` per slot — O(slots), the term that blows up at 64
+nodes). ``MachineConfig.barrier = "tree"`` switches the inter-node
+phase to a **combining tree**: slots form a binary heap; each interior
+slot's representative merges its subtree's arrivals and posts one
+combine word up (``barrier_mc_phase`` CPU + one MC propagation per
+hop), the root posts a single broadcast departure word, and every
+waiter spins on that one word — O(log slots) departure latency,
+O(1) spin. The intra-node gather (two-level) is unchanged, arrival
+flushes and departure invalidations are identical, and data values are
+byte-identical across topologies; only timing and the combine-hop
+accounting (``barrier_combine_hops``) differ.
 """
 
 from __future__ import annotations
@@ -44,12 +58,17 @@ class _EpisodeState:
     from O(slots x waiters) to one per waiter.
     """
 
-    __slots__ = ("cond", "visible_at", "announced")
+    __slots__ = ("cond", "visible_at", "announced", "slot_visible")
 
-    def __init__(self, cond: Condition) -> None:
+    def __init__(self, cond: Condition, slots: int = 0) -> None:
         self.cond = cond
         self.visible_at = 0.0
         self.announced = 0
+        #: Per-slot announcement visibility times; kept only under the
+        #: tree topology, whose departure time depends on *which* slot
+        #: each arrival landed in (heap position), not just the max.
+        self.slot_visible: list[float] | None = \
+            [0.0] * slots if slots else None
 
 
 class Barrier:
@@ -66,6 +85,15 @@ class Barrier:
             "barrier", slots, initial=0, loopback=True,
             connections=cluster.config.nodes)
         self._node_state = [_NodeBarrierState() for _ in cluster.nodes]
+        #: Combining-tree inter-node phase (MachineConfig.barrier="tree").
+        self.tree = cluster.config.barrier == "tree"
+        #: Interior heap slots (those with at least one child); their
+        #: representatives each perform one combine-word write per episode.
+        self._interior = slots // 2 if self.tree else 0
+        #: Cumulative departure latency (last announcement posted ->
+        #: departure visible) over all episodes, for the scale
+        #: experiment's per-episode barrier-cost series.
+        self.depart_latency_us = 0.0
         #: In-flight episode departures (target episode -> state); an
         #: entry is dropped when its departure fire executes, which is
         #: safe because no processor can still park for an episode whose
@@ -80,7 +108,8 @@ class Barrier:
         ep = self._episodes_pending.get(target)
         if ep is None:
             ep = _EpisodeState(Condition(self.cluster.sim,
-                                         name=f"barrier-ep{target}"))
+                                         name=f"barrier-ep{target}"),
+                               slots=self.slots if self.tree else 0)
             if target > self._completed_through:
                 self._episodes_pending[target] = ep
             # else: throwaway — the episode already departed; the caller's
@@ -94,9 +123,14 @@ class Barrier:
         visible = self.region.words[slot].last_visible_at()
         if visible > ep.visible_at:
             ep.visible_at = visible
+        if ep.slot_visible is not None:
+            ep.slot_visible[slot] = visible
         ep.announced += 1
         if ep.announced == self.slots:
             sim = self.cluster.sim
+            if self.tree:
+                ep.visible_at = self._tree_departure(ep.slot_visible)
+            self.depart_latency_us += max(0.0, ep.visible_at - sim.now)
 
             def depart() -> None:
                 self._episodes_pending.pop(target, None)
@@ -105,6 +139,36 @@ class Barrier:
                 ep.cond.fire(ep.visible_at)
 
             sim.schedule(max(ep.visible_at, sim.now), depart)
+
+    def _tree_departure(self, slot_visible: list[float]) -> float:
+        """Departure time of one episode under the combining tree.
+
+        Slots form a binary heap (children of *i* are *2i+1*, *2i+2*).
+        An interior slot's representative posts its combine word once its
+        own arrival and both children's combine words are visible —
+        ``barrier_mc_phase`` CPU for the write plus one Memory Channel
+        propagation per hop — and the root's combined word doubles as the
+        broadcast departure flag every waiter spins on. Latency is
+        O(log slots) hops off the slowest leaf instead of one global max,
+        and the combine words (interior slots, the root's included) are
+        accounted as sync traffic here.
+        """
+        slots = self.slots
+        costs = self.cluster.config.costs
+        hop = costs.barrier_mc_phase + costs.mc_latency
+        done = list(slot_visible)
+        for i in range(slots - 1, -1, -1):
+            left, right = 2 * i + 1, 2 * i + 2
+            t = done[i]
+            if left < slots:
+                t = max(t, done[left])
+                if right < slots:
+                    t = max(t, done[right])
+                t += hop  # this slot's combine write, propagated
+            done[i] = t
+        if self._interior:
+            self.cluster.mc.account("sync", 4 * self._interior)
+        return done[0]
 
     def wait(self, proc: Processor):
         """Generator: arrive, flush, announce, spin for departure, acquire."""
@@ -118,8 +182,10 @@ class Barrier:
         # writer of (two-level) or a plain release (one-level).
         self.protocol.barrier_release(proc)
 
+        announced_here = False
         if self.two_level:
-            ns = self._node_state[proc.node.id]
+            slot = proc.node.id
+            ns = self._node_state[slot]
             target = ns.episode + 1
             proc.charge(costs.barrier_local_phase + costs.llsc_lock,
                         "protocol")
@@ -130,17 +196,19 @@ class Barrier:
                 # local peers on the way in.
                 ns.arrived = 0
                 ns.episode = target
+                announced_here = True
                 proc.charge(costs.barrier_local_phase
                             * (len(proc.node.processors) - 1), "protocol")
                 proc.charge(costs.barrier_mc_phase, "protocol")
-                mc.write_word(self.region, proc.node.id, target, proc.clock,
+                mc.write_word(self.region, slot, target, proc.clock,
                               category="sync")
-                self._note_announcement(target, proc.node.id)
-                if proc.node.id == 0:
+                self._note_announcement(target, slot)
+                if slot == 0:
                     self.episodes = target
         else:
             slot = proc.global_id
             target = self.region.words[slot].latest() + 1
+            announced_here = True
             proc.charge(costs.barrier_mc_phase, "protocol")
             mc.write_word(self.region, slot, target, proc.clock,
                           category="sync")
@@ -170,9 +238,19 @@ class Barrier:
 
         if not departed():
             yield Wait(ep.cond, departed, bucket="comm_wait")
-        # Departure-side spinning on the arrival array (waiters rescan it
-        # as arrivals trickle in; scales with the number of slots).
-        proc.charge(costs.barrier_spin * nslots, "protocol")
+        if self.tree:
+            # O(1) departure: every waiter polls only the root's broadcast
+            # word (plus its own subtree word while combining), and each
+            # interior slot's representative pays for the one combine
+            # write it performed during the wait window.
+            proc.charge(costs.barrier_spin * min(nslots, 2), "protocol")
+            if announced_here and slot < self._interior:
+                proc.charge(costs.barrier_mc_phase, "protocol")
+                proc.stats.bump("barrier_combine_hops")
+        else:
+            # Departure-side spinning on the arrival array (waiters rescan
+            # it as arrivals trickle in; scales with the number of slots).
+            proc.charge(costs.barrier_spin * nslots, "protocol")
         proc.stats.bump("barriers_crossed")
 
         # Departure-side consistency: process write notices, invalidate.

@@ -1,10 +1,21 @@
-"""Unit tests for the global directory and write-notice structures."""
+"""Unit tests for the global directory and write-notice structures.
+
+The directory now has two entry representations (DESIGN.md §15): the
+sparse :class:`DirEntry` (default, O(sharers)) and the dense
+:class:`DenseDirEntry` (the paper's literal one-word-per-owner layout,
+kept behind ``CASHMERE_DENSE_DIR`` for differential testing). The
+hypothesis differential test at the bottom drives both through
+randomized update sequences and asserts they agree on every observable.
+"""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config import MachineConfig
 from repro.errors import ProtocolError
-from repro.protocol.directory import (DirectoryLockModel, DirEntry, DirWord,
+from repro.protocol.directory import (NO_HOLDER, DenseDirEntry,
+                                      DirectoryLockModel, DirEntry, DirWord,
                                       GlobalDirectory, PageMeta)
 from repro.protocol.writenotice import NLEList, NoticeBoard, PerProcNotices
 from repro.vm.page import Perm
@@ -18,26 +29,58 @@ def small_config(**kw):
     return MachineConfig(**kw)
 
 
+def entry_pair(num_owners=4):
+    """A fresh (sparse, dense) entry pair over the same owner space."""
+    return (DirEntry(home_owner=0),
+            DenseDirEntry(home_owner=0, num_owners=num_owners))
+
+
 class TestDirEntry:
     def test_sharers(self):
-        entry = DirEntry(words=[DirWord(Perm.READ), DirWord(),
-                                DirWord(Perm.WRITE)], home_owner=0)
+        entry = DirEntry(home_owner=0)
+        entry.set_perm(2, Perm.WRITE)
+        entry.set_perm(0, Perm.READ)
         assert entry.sharers() == [0, 2]
 
+    def test_set_perm_invalid_unshares(self):
+        entry = DirEntry(home_owner=0)
+        entry.set_perm(1, Perm.READ)
+        entry.set_perm(1, Perm.INVALID)
+        assert entry.sharers() == []
+        assert entry.perm_of(1) is Perm.INVALID
+
     def test_single_exclusive_holder(self):
-        entry = DirEntry(words=[DirWord(), DirWord(Perm.WRITE, 5)],
-                         home_owner=0)
+        entry = DirEntry(home_owner=0)
+        entry.set_perm(1, Perm.WRITE)
+        entry.set_excl(1, 5)
         assert entry.exclusive_holder() == (1, 5)
+        assert entry.excl_of(1) == 5
+        assert entry.excl_of(0) == NO_HOLDER
 
     def test_no_holder(self):
-        entry = DirEntry(words=[DirWord(), DirWord()], home_owner=0)
+        entry = DirEntry(home_owner=0)
         assert entry.exclusive_holder() is None
 
     def test_two_holders_is_corruption(self):
-        entry = DirEntry(words=[DirWord(Perm.WRITE, 1),
-                                DirWord(Perm.WRITE, 2)], home_owner=0)
+        entry = DirEntry(home_owner=0)
+        entry.set_excl(1, 1)
+        with pytest.raises(ProtocolError, match="corrupt"):
+            entry.set_excl(2, 2)
+
+    def test_dense_preset_words_corruption(self):
+        entry = DenseDirEntry(home_owner=0,
+                              words=[DirWord(Perm.WRITE, 1),
+                                     DirWord(Perm.WRITE, 2)])
         with pytest.raises(ProtocolError, match="corrupt"):
             entry.exclusive_holder()
+
+    def test_clear_excl_wrong_owner_is_noop(self):
+        for entry in entry_pair():
+            entry.set_excl(1, 7)
+            entry.clear_excl(0)
+            assert entry.exclusive_holder() == (1, 7)
+            entry.clear_excl(1)
+            assert entry.exclusive_holder() is None
 
 
 class TestGlobalDirectory:
@@ -47,6 +90,12 @@ class TestGlobalDirectory:
         homes = [d.home(p) for p in range(cfg.num_pages)]
         # pages 0,1 -> owner 0; 2,3 -> owner 1; ...
         assert homes[:8] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_dense_flag_selects_representation(self):
+        cfg = small_config()
+        assert isinstance(GlobalDirectory(cfg, 4).entry(0), DirEntry)
+        assert isinstance(GlobalDirectory(cfg, 4, dense=True).entry(0),
+                          DenseDirEntry)
 
     def test_lock_free_update_cost_constant(self):
         cfg = small_config()
@@ -69,6 +118,72 @@ class TestGlobalDirectory:
         cfg = small_config()
         assert GlobalDirectory(cfg, 8).broadcast_bytes() == 32
 
+    @pytest.mark.parametrize("dense", [False, True])
+    def test_occupancy(self, dense):
+        cfg = small_config()
+        d = GlobalDirectory(cfg, 4, dense=dense)
+        d.entry(0).set_perm(1, Perm.READ)
+        d.entry(0).set_perm(2, Perm.READ)
+        d.entry(1).set_perm(3, Perm.WRITE)
+        d.entry(2).set_perm(0, Perm.WRITE)
+        d.entry(2).set_excl(0, 0)
+        per_owner, histogram = d.occupancy()
+        assert per_owner == [1, 1, 1, 1]
+        assert histogram == [cfg.num_pages - 3, 1, 1, 1]
+
+
+# ---------------------------------------------------------------------------
+# Differential property: sparse vs dense across random update sequences.
+# ---------------------------------------------------------------------------
+
+N_OWNERS = 6
+
+_ops = st.one_of(
+    st.tuples(st.just("set_perm"), st.integers(0, N_OWNERS - 1),
+              st.sampled_from([Perm.INVALID, Perm.READ, Perm.WRITE])),
+    st.tuples(st.just("set_excl"), st.integers(0, N_OWNERS - 1),
+              st.integers(0, 23)),
+    st.tuples(st.just("clear_excl"), st.integers(0, N_OWNERS - 1),
+              st.just(0)),
+)
+
+
+def _observe(entry):
+    return {
+        "perms": [int(entry.perm_of(o)) for o in range(N_OWNERS)],
+        "sharers": entry.sharers(),
+        "other": [entry.has_other_sharer(o) for o in range(N_OWNERS)],
+        "holder": entry.exclusive_holder(),
+        "excl_of": [entry.excl_of(o) for o in range(N_OWNERS)],
+        "state": entry.state_tuple(),
+    }
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_ops, max_size=40))
+def test_sparse_and_dense_entries_agree(ops):
+    """Any update sequence leaves the two forms indistinguishable: same
+    permissions, sharer sets, holders, occupancy, and state digests —
+    including raising corruption errors at exactly the same step."""
+    sparse = DirEntry(home_owner=0)
+    dense = DenseDirEntry(home_owner=0, num_owners=N_OWNERS)
+    for op, owner, arg in ops:
+        results = []
+        for entry in (sparse, dense):
+            try:
+                getattr(entry, op)(*((owner, arg) if op != "clear_excl"
+                                     else (owner,)))
+                results.append(None)
+            except ProtocolError:
+                results.append("corrupt")
+        assert results[0] == results[1]
+        assert _observe(sparse) == _observe(dense)
+    per_s, hist_s = [0] * N_OWNERS, [0, 0, 0, 0]
+    per_d, hist_d = [0] * N_OWNERS, [0, 0, 0, 0]
+    hist_s[sparse.occupancy_into(per_s)] += 1
+    hist_d[dense.occupancy_into(per_d)] += 1
+    assert (per_s, hist_s) == (per_d, hist_d)
+
 
 class TestNoticeBoard:
     def test_post_and_collect_respects_visibility(self):
@@ -88,13 +203,21 @@ class TestNoticeBoard:
         got = board.collect(10.0)
         assert [(n.from_owner, n.page) for n in got] == [(1, 1), (2, 2)]
 
-    def test_visibility_prefix_only(self):
-        # An early-visible notice behind a late one stays queued (in-order
-        # bins, like the hardware's write ordering).
+    def test_visible_notice_behind_late_head_still_delivered(self):
+        # Distinct processors of one node post to the same bin at
+        # unordered simulated clocks; MC write ordering is per source
+        # processor, not per node, so a visible notice parked behind a
+        # not-yet-visible head must still come out (missing it lets the
+        # poster's lock successor read a stale page).
         board = NoticeBoard(0, 2)
         board.post(1, 1, 20.0)
         board.post(1, 2, 10.0)
-        assert board.collect(15.0) == []
+        got = board.collect(15.0)
+        assert [(n.page, n.visible_at) for n in got] == [(2, 10.0)]
+        assert board.pending() == 1
+        got = board.collect(25.0)
+        assert [(n.page, n.visible_at) for n in got] == [(1, 20.0)]
+        assert board.pending() == 0
 
 
 class TestPerProcNotices:

@@ -134,3 +134,58 @@ class TestRunnerCLI:
         assert main(["profile", "sor", "--protocol", "1LD"]) == 0
         out = capsys.readouterr().out
         assert "Hot pages" in out and "Barrier episodes" in out
+
+
+class TestScaleFamily:
+    """The big-cluster scaling ladder (repro.experiments.scale)."""
+
+    def _tiny(self):
+        from repro.experiments.scale import run_scale
+        from repro.experiments.sweep import Sweep
+        return run_scale(apps=("SOR",), ladder=((2, 2), (4, 2)),
+                         quick=True, sweep=Sweep(cache=None))
+
+    def test_tiny_ladder_rows(self):
+        res = self._tiny()
+        per = res.rows["SOR"]
+        assert set(per) == {"2x2", "4x2"}
+        row = per["4x2"]
+        assert row["procs"] == 8
+        assert row["speedup"] > 1.0
+        assert row["mc_mbytes"] > 0
+        assert row["barrier_us_per_episode"] > 0  # tree departures cost
+        assert row["combine_hops"] > 0
+        assert row["sharers_per_page"] > 0
+        assert res.seq_time_s["SOR"] > 0
+        assert "Scale — SOR" in res.format()
+
+    def test_to_bench_json_is_store_ingestable(self, tmp_path):
+        from repro.metrics.store import RunStore
+        doc = self._tiny().to_bench_json()
+        assert doc["experiment"] == "scale"
+        entry = doc["benchmarks"]["scale_sor_4x2"]
+        assert entry["procs"] == 8
+        assert entry["wall_s"] > 0
+        with RunStore(str(tmp_path / "m.db")) as store:
+            rid = store.ingest_bench(doc, label="scale-test")
+            counters = store.counters(rid)
+        assert counters["scale_sor_4x2.procs"] == 8
+        assert counters["scale_sor_4x2.speedup"] > 1.0
+
+    def test_cell_scale_metadata(self):
+        from repro.experiments.scale import QUICK_PARAMS, scale_config
+        from repro.experiments.sweep import RunSpec, execute_cell
+        spec = RunSpec.app_run("SOR", "2L", scale_config(2, 2),
+                               params=QUICK_PARAMS["SOR"])
+        cell = execute_cell(spec)
+        s = cell.scale
+        assert s is not None
+        assert s["procs"] == 4
+        assert s["dir_pages"] > 0 and s["dir_sharers"] > 0
+        assert s["barrier_episodes"] > 0
+        assert s["barrier_combine_hops"] > 0  # scale_config uses tree
+
+    def test_scale_cli_rejects_unscalable_app(self):
+        from repro.experiments.runner import main
+        with pytest.raises(SystemExit):
+            main(["scale", "Em3d"])

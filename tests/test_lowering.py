@@ -65,7 +65,7 @@ def _run(app_name, cfg, protocol):
 # ---------------------------------------------------------------------------
 
 @pytest.mark.parametrize("protocol", ["2L", "2LS", "1LD", "1L"])
-@pytest.mark.parametrize("app_name", ["SOR", "Water", "LU"])
+@pytest.mark.parametrize("app_name", ["SOR", "Water", "LU", "Gauss"])
 @pytest.mark.parametrize("placement", ["solo", "clustered"])
 def test_lowered_matches_interpreted(app_name, protocol, placement,
                                      monkeypatch):
@@ -294,10 +294,34 @@ def interp(self, env):
 def test_app_kernels_prove_lowerable():
     """Every shipped kernel class passes stage 1 (and the proof is
     cached on the class by RegionKernel.__init__)."""
+    from repro.apps.gauss import _GaussElim
     from repro.apps.lu import _LUInterior
     from repro.apps.water import _WaterIntegrate
-    for cls in (_SorSweep, _WaterIntegrate, _LUInterior):
+    for cls in (_SorSweep, _WaterIntegrate, _LUInterior, _GaussElim):
         report = check_kernel_class(cls)
         assert report.yields >= 1
         assert report.reads and report.writes
     assert _SorSweep._lower_report.name == "_SorSweep.interp"
+
+
+def test_gauss_touch_lists_mirror_row_spans():
+    """Each _GaussElim step first reads its row span, then writes the
+    same span back — and rows being page-padded, no page is shared
+    between steps."""
+    from repro.apps.gauss import _GaussElim
+    app = make_app("Gauss")
+    params = app.small_params()
+    rt = ParallelRuntime(app, params, SOLO, "2L")
+    env = WorkerEnv(rt, rt.cluster.processors[0])
+    n = params["n"]
+    stride = app._row_stride(n, rt.config.words_per_page)
+    A = rt.segment.array("A")
+    k = 2
+    kernel = _GaussElim(env, A, stride, k, n, list(range(n)), None)
+    assert kernel.n == n - k - 1
+    for step in kernel.touches:
+        reads = [p for need, p in step if need is READ]
+        writes = [p for need, p in step if need is WRITE]
+        assert reads and reads == writes  # same span, read then written
+    seen = [p for step in kernel.touches for _, p in step]
+    assert len(set(seen)) * 2 == len(seen)  # disjoint across steps

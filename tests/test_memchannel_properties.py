@@ -123,27 +123,34 @@ class TestInjectionOrdering:
 
     @settings(max_examples=100, deadline=None)
     @given(st.integers(0, 2**31), st.integers(1, 60))
-    def test_notice_bins_deliver_fifo_with_gaps_counted(self, seed, posts):
-        """Per-bin FIFO delivery holds under delay/drop injection, a
-        collect never returns an invisible notice, and every injected
-        loss arrives as a counted gap (lost=True), never silently."""
+    def test_notice_bins_deliver_by_visibility_with_gaps_counted(
+            self, seed, posts):
+        """Visibility-ordered delivery holds under delay/drop injection:
+        a collect returns exactly the notices visible by its cutoff
+        (a delayed notice arrives late without blocking ones behind it,
+        since bins interleave unordered per-processor streams), never an
+        invisible one, and every injected loss arrives as a counted gap
+        (lost=True), never silently."""
         inj = _injector(seed=seed, notice_delay_rate=0.4,
                         notice_delay_us=100.0, notice_drop_rate=0.3)
         board = NoticeBoard(owner=0, num_owners=2)
         board.injector = inj
         for i in range(posts):
             board.post(1, page=i, visible_at=float(i))
-        # A partial collect returns a visible prefix of the bin, in
-        # post order (a delayed head blocks everything behind it).
-        early = board.collect(float(posts) / 2)
-        assert all(n.visible_at <= posts / 2 for n in early)
+        cutoff = float(posts) / 2
+        early = board.collect(cutoff)
+        assert all(n.visible_at <= cutoff for n in early)
+        assert board.pending() == posts - len(early)
+        for n in early:                     # nothing visible is left behind
+            assert n.visible_at <= cutoff
+        assert all(wn.visible_at > cutoff
+                   for bin_ in board.bins for wn in bin_)
         late = board.collect(float(posts) + 200.0)
-        pages = [n.page for n in early + late]
-        assert pages == sorted(pages)          # FIFO per (single) bin
-        assert len(pages) == posts             # nothing vanishes...
+        pages = sorted(n.page for n in early + late)
+        assert pages == list(range(posts))     # each post delivered once
         lost = sum(1 for n in early + late if n.lost)
-        assert lost == board.lost == inj.notices_dropped  # ...losses
-        # are delivered as explicit gaps, exactly as often as injected.
+        assert lost == board.lost == inj.notices_dropped  # losses are
+        # delivered as explicit gaps, exactly as often as injected.
 
     def test_zero_rate_injector_draws_no_randomness(self):
         """The parity guarantee at its root: with every rate at zero,
