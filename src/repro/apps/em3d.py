@@ -9,12 +9,19 @@ boundary exchange — like SOR, but with a far lower
 computation-to-communication ratio, which is why Em3d gains ~22% from the
 two-level protocols and improves with clustering under them
 (Sections 3.3.2-3.3.3). The paper ran 60106 nodes (49 Mbytes, 161.4 s).
+
+Each field update is one :class:`_Em3dPhase` region kernel (scaffolded
+with ``cashmere-repro lower-gen em3d``, then hand-tuned): a single
+super-step that reads the source-field neighborhood, reads the
+destination share, and writes it back — verified against the interp
+body by lint rules K001/K002.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..lower.regions import READ, WRITE, RegionKernel
 from .base import Application, split_range
 
 #: CPU cost per dependency multiply-add — Em3d does almost no math per
@@ -26,6 +33,71 @@ _MEM_BYTES = 64.0
 #: Dependency stencil: offsets into the other field's array.
 _OFFSETS = (-2, -1, 0, 1)
 _WEIGHTS = (0.17, 0.23, 0.31, 0.29)
+
+
+def _gather(block: np.ndarray, count: int) -> np.ndarray:
+    """New values for ``count`` nodes from a source block covering their
+    ``[lo-2, hi+2)`` neighborhood (edge-clamped: out-of-range lanes are
+    zero)."""
+    out = np.zeros(count)
+    for off, w in zip(_OFFSETS, _WEIGHTS):
+        out += w * block[2 + off:2 + off + count]
+    return out
+
+
+class _Em3dPhase(RegionKernel):
+    """One field update (E from H, or H from E) for one worker's share:
+    a single super-step reading ``src`` words ``[blo, bhi)`` and the
+    old ``dst`` share ``[lo, hi)``, then writing the new share."""
+
+    def __init__(self, env, src, dst, lo: int, hi: int, blo: int,
+                 bhi: int, count: int) -> None:
+        super().__init__(env)
+        self._src = src
+        self._dst = dst
+        self._lo = lo
+        self._hi = hi
+        self._blo = blo
+        self._bhi = bhi
+        self.n = 1 if count else 0
+        self.cost = env.compute(count * len(_OFFSETS) * _FLOP_US,
+                                count * _MEM_BYTES)
+        if not self.lowerable or self.n == 0:
+            return
+        # The interp body's first-touch order: the source neighborhood
+        # block read, the destination share read, then the share write.
+        step = [(READ, p) for p in self.span_pages(src, blo, bhi)]
+        step += [(READ, p) for p in self.span_pages(dst, lo, hi)]
+        step += [(WRITE, p) for p in self.span_pages(dst, lo, hi)]
+        self.touches = [step]
+        #: Staged neighborhood (zero-padded at the array edges, exactly
+        #: like the interp body's ``block``) and old destination share.
+        self._buf = np.zeros(hi - lo + 4)
+        self._cur = np.empty(hi - lo)
+
+    def ingest(self, i: int) -> None:
+        lo, hi = self._lo, self._hi
+        blo, bhi = self._blo, self._bhi
+        buf = self._buf
+        buf[:] = 0.0
+        off = blo - (lo - 2)
+        self.read_span(self._src, blo, bhi, buf[off:off + (bhi - blo)])
+        self.read_span(self._dst, lo, hi, self._cur)
+
+    def materialize(self, lo: int, hi: int) -> None:
+        new = self._cur - 0.1 * _gather(self._buf, self._hi - self._lo)
+        self.write_span(self._dst, self._lo, new)
+
+    def interp(self, env):
+        lo, hi = self._lo, self._hi
+        blo, bhi = self._blo, self._bhi
+        block = np.zeros(hi - lo + 4)
+        block[blo - (lo - 2):bhi - (lo - 2)] = \
+            env.get_block(self._src, blo, bhi)
+        new = env.get_block(self._dst, lo, hi) \
+            - 0.1 * _gather(block, hi - lo)
+        env.set_block(self._dst, lo, new)
+        yield self.cost
 
 
 class Em3d(Application):
@@ -45,17 +117,6 @@ class Em3d(Application):
         segment.alloc("e", n)
         segment.alloc("h", n)
 
-    @staticmethod
-    def _gather(src: np.ndarray, lo: int, hi: int, n: int,
-                block: np.ndarray) -> np.ndarray:
-        """New values for nodes [lo, hi) from a source block covering
-        [lo-2, hi+2) (clamped circularly)."""
-        count = hi - lo
-        out = np.zeros(count)
-        for off, w in zip(_OFFSETS, _WEIGHTS):
-            out += w * block[2 + off:2 + off + count]
-        return out
-
     def worker(self, env, params: dict):
         n, iters = params["nodes"], params["iters"]
         e, h = env.arr("e"), env.arr("h")
@@ -70,29 +131,14 @@ class Em3d(Application):
 
         lo, hi = split_range(n, nprocs, me)
         count = hi - lo
+        # Neighborhood bounds, clamped at the array edges.
+        blo, bhi = max(0, lo - 2), min(n, hi + 2)
+        e_phase = _Em3dPhase(env, h, e, lo, hi, blo, bhi, count)
+        h_phase = _Em3dPhase(env, e, h, lo, hi, blo, bhi, count)
         for _ in range(iters):
-            if count:
-                # E update: read H neighborhood (clamped at array edges).
-                blo, bhi = max(0, lo - 2), min(n, hi + 2)
-                block = np.zeros(hi - lo + 4)
-                block[blo - (lo - 2):bhi - (lo - 2)] = \
-                    env.get_block(h, blo, bhi)
-                new = env.get_block(e, lo, hi) \
-                    - 0.1 * self._gather(block, lo, hi, n, block)
-                env.set_block(e, lo, new)
-                yield env.compute(count * len(_OFFSETS) * _FLOP_US,
-                                  count * _MEM_BYTES)
+            yield from env.run_region(e_phase)
             yield from env.barrier()
-            if count:
-                blo, bhi = max(0, lo - 2), min(n, hi + 2)
-                block = np.zeros(hi - lo + 4)
-                block[blo - (lo - 2):bhi - (lo - 2)] = \
-                    env.get_block(e, blo, bhi)
-                new = env.get_block(h, lo, hi) \
-                    - 0.1 * self._gather(block, lo, hi, n, block)
-                env.set_block(h, lo, new)
-                yield env.compute(count * len(_OFFSETS) * _FLOP_US,
-                                  count * _MEM_BYTES)
+            yield from env.run_region(h_phase)
             yield from env.barrier()
 
     def result_arrays(self, params: dict):

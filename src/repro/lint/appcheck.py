@@ -36,7 +36,7 @@ import ast
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-from .cfg import CFG, CFGNode, build_cfg
+from .cfg import CFG, CFGNode, build_cfg, node_calls, walk_no_defs
 
 #: WorkerEnv data-access methods: name -> ("read"|"write", index arg slots).
 _ACCESS_METHODS: dict[str, tuple[str, tuple[int, ...]]] = {
@@ -59,45 +59,14 @@ _RANK_ATTRS = frozenset({"rank", "local_rank", "node_rank"})
 Reporter = Callable[[str, int, int, str], None]
 
 
-def _walk_no_defs(root: ast.AST) -> Iterator[ast.AST]:
-    """Walk an expression/statement without entering nested function or
-    class bodies (they are separate analysis units)."""
-    stack: list[ast.AST] = [root]
-    while stack:
-        node = stack.pop()
-        yield node
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.ClassDef)):
-                continue
-            stack.append(child)
+#: Per-node expression walkers live with the CFG builder now
+#: (:func:`repro.lint.cfg.node_exprs` / :func:`~repro.lint.cfg.node_calls`),
+#: shared with the lowering pipeline's stage-1 proof.
+_walk_no_defs = walk_no_defs
 
-
-def _own_exprs(stmt: ast.stmt) -> list[ast.AST]:
-    """The expressions evaluated *at* a statement's own CFG node — the
-    header for compound statements (bodies have their own nodes)."""
-    if isinstance(stmt, (ast.If, ast.While)):
-        return [stmt.test]
-    if isinstance(stmt, (ast.For, ast.AsyncFor)):
-        return [stmt.iter]
-    if isinstance(stmt, (ast.With, ast.AsyncWith)):
-        return [item.context_expr for item in stmt.items]
-    if isinstance(stmt, ast.Try):
-        return []
-    if isinstance(stmt, ast.Match):
-        return [stmt.subject]
-    return [stmt]
-
-
-def _stmt_calls(stmt: ast.stmt) -> list[ast.Call]:
-    """Every call evaluated at the statement's own node, source order."""
-    calls: list[ast.Call] = []
-    for root in _own_exprs(stmt):
-        for node in _walk_no_defs(root):
-            if isinstance(node, ast.Call):
-                calls.append(node)
-    calls.sort(key=lambda c: (c.lineno, c.col_offset))
-    return calls
+#: Comprehension forms whose generator targets open a nested scope.
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                   ast.DictComp)
 
 
 @dataclass
@@ -166,16 +135,57 @@ class KernelAnalyzer:
     def _lock_key(call: ast.Call) -> str:
         return ast.unparse(call.args[0]) if call.args else "<?>"
 
-    def _expr_tainted(self, expr: ast.AST) -> bool:
-        for node in _walk_no_defs(expr):
-            if isinstance(node, ast.Name) and node.id in self.tainted:
+    def _expr_tainted(self, expr: ast.AST,
+                      shadow: frozenset[str] = frozenset(),
+                      extra: frozenset[str] = frozenset()) -> bool:
+        """Whether evaluating ``expr`` can depend on the rank.
+
+        Comprehensions open a scope: their generator targets *shadow*
+        outer names (``[i for i in range(3)]`` is rank-independent even
+        when an outer ``i`` is tainted), and a tainted iterator taints
+        its targets inside the comprehension (the *extra* set) without
+        leaking that name outward.
+        """
+        if isinstance(expr, ast.Name):
+            if expr.id in extra:
                 return True
-            if isinstance(node, ast.Attribute) \
-                    and node.attr in _RANK_ATTRS \
-                    and isinstance(node.value, ast.Name) \
-                    and node.value.id in self.env_names:
-                return True
-        return False
+            if expr.id in shadow:
+                return False
+            return expr.id in self.tainted
+        if isinstance(expr, ast.Attribute) \
+                and expr.attr in _RANK_ATTRS \
+                and isinstance(expr.value, ast.Name) \
+                and expr.value.id in self.env_names \
+                and expr.value.id not in shadow:
+            return True
+        if isinstance(expr, _COMPREHENSIONS):
+            inner_shadow, inner_extra = set(shadow), set(extra)
+            tainted = False
+            for gen in expr.generators:
+                # A tainted iterator taints the whole result (its
+                # length depends on the rank) and its loop targets.
+                it_tainted = self._expr_tainted(
+                    gen.iter, frozenset(inner_shadow),
+                    frozenset(inner_extra))
+                tainted |= it_tainted
+                targets = {n.id for n in ast.walk(gen.target)
+                           if isinstance(n, ast.Name)}
+                inner_shadow |= targets
+                if it_tainted:
+                    inner_extra |= targets
+                else:
+                    inner_extra -= targets
+            ish, iex = frozenset(inner_shadow), frozenset(inner_extra)
+            elts = ([expr.key, expr.value]
+                    if isinstance(expr, ast.DictComp) else [expr.elt])
+            conds = [c for gen in expr.generators for c in gen.ifs]
+            return tainted or any(self._expr_tainted(e, ish, iex)
+                                  for e in elts + conds)
+        if isinstance(expr, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return False  # separate analysis units
+        return any(self._expr_tainted(child, shadow, extra)
+                   for child in ast.iter_child_nodes(expr))
 
     # --- pre-passes ----------------------------------------------------
 
@@ -295,7 +305,7 @@ class KernelAnalyzer:
         ops = _Ops()
         if node.stmt is None:
             return ops
-        for call in _stmt_calls(node.stmt):
+        for call in node_calls(node):
             method = self._env_method(call)
             if method is None:
                 continue

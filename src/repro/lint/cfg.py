@@ -19,15 +19,24 @@ conditionals) and keeps the lockset analysis in
 from __future__ import annotations
 
 import ast
+from typing import Iterator
 
 
 class CFGNode:
-    """One statement (or synthetic entry/exit) in the flow graph."""
+    """One statement (or synthetic entry/exit) in the flow graph.
 
-    __slots__ = ("stmt", "succs", "preds", "index")
+    A ``with`` statement contributes one node per context-manager item
+    (its managers enter left to right, each a separate program point):
+    those nodes share the ``with`` as their ``stmt`` and carry the
+    :class:`ast.withitem` in ``item``. Every other node has ``item``
+    None.
+    """
+
+    __slots__ = ("stmt", "item", "succs", "preds", "index")
 
     def __init__(self, stmt: ast.stmt | None, index: int) -> None:
         self.stmt = stmt
+        self.item: ast.withitem | None = None
         self.index = index
         self.succs: list[CFGNode] = []
         self.preds: list[CFGNode] = []
@@ -35,6 +44,8 @@ class CFGNode:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         what = type(self.stmt).__name__ if self.stmt is not None else "?"
         line = getattr(self.stmt, "lineno", "-")
+        if self.item is not None:
+            what += f"[{ast.unparse(self.item.context_expr)}]"
         return f"<CFGNode #{self.index} {what}@{line}>"
 
 
@@ -149,9 +160,16 @@ class _Builder:
                 out = self._body(stmt.finalbody, out)
             return out
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
-            node = cfg._new(stmt)
-            CFG._connect(frontier, node)
-            return self._body(stmt.body, {node})
+            # One node per context-manager item, chained in entry
+            # order: `with a(), b():` evaluates a() before b(), and an
+            # analysis walking node expressions sees each manager call
+            # exactly once, at its own program point.
+            for item in stmt.items:
+                node = cfg._new(stmt)
+                node.item = item
+                CFG._connect(frontier, node)
+                frontier = {node}
+            return self._body(stmt.body, frontier)
         if isinstance(stmt, ast.Match):
             node = cfg._new(stmt)
             CFG._connect(frontier, node)
@@ -186,3 +204,62 @@ class _Builder:
 def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
     """Build the control-flow graph of one function body."""
     return _Builder().build(func.body)
+
+
+# --- per-node expression accessors -----------------------------------------
+#
+# Analyses that attribute work (calls, accesses, yields) to CFG nodes
+# must look only at what a node *itself* evaluates: a compound header
+# evaluates its test/iterator, not its body (body statements have their
+# own nodes), and an except-handler node evaluates its exception type,
+# not the handler body. Walking ``node.stmt`` whole would double-count
+# everything under a header once per nesting level.
+
+
+def walk_no_defs(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk a subtree without entering nested function or class bodies
+    (they are separate analysis units with their own scopes)."""
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+def node_exprs(node: CFGNode) -> list[ast.AST]:
+    """The expressions evaluated *at* this node — exactly once across
+    the whole graph (headers own their tests, bodies their statements,
+    each ``with`` item its context expression)."""
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    if node.item is not None:
+        return [node.item.context_expr]
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):  # pragma: no cover
+        return []  # defensive: with-nodes always carry an item
+    return [stmt]
+
+
+def node_calls(node: CFGNode) -> list[ast.Call]:
+    """Every call evaluated at this node, in source order."""
+    calls: list[ast.Call] = []
+    for root in node_exprs(node):
+        for sub in walk_no_defs(root):
+            if isinstance(sub, ast.Call):
+                calls.append(sub)
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls

@@ -20,8 +20,9 @@ from typing import cast
 from .rules import RULES
 
 #: Version tag of the JSON output document. Bump on any change to the
-#: key layout below; consumers must check it.
-SCHEMA = "cashmere-lint/1"
+#: key layout below; consumers must check it. /2 added the "engine"
+#: key to each diagnostic entry alongside the K-series touch rules.
+SCHEMA = "cashmere-lint/2"
 
 
 @dataclass(frozen=True, order=True)
@@ -46,10 +47,14 @@ class Diagnostic:
         return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
                 f"[{self.slug}] {self.severity}: {self.message}")
 
+    @property
+    def engine(self) -> str:
+        return RULES[self.rule].engine
+
     def to_json(self) -> dict[str, object]:
         return {"rule": self.rule, "slug": self.slug,
-                "severity": self.severity, "path": self.path,
-                "line": self.line, "col": self.col,
+                "engine": self.engine, "severity": self.severity,
+                "path": self.path, "line": self.line, "col": self.col,
                 "message": self.message}
 
     @classmethod

@@ -1,0 +1,1647 @@
+"""The symbolic access-summary domain for lint engine 4 (DESIGN §16).
+
+Region kernels (:mod:`repro.lower`) carry two descriptions of the same
+sync-free loop: the ``interp`` body (ground truth) and the hand-built
+per-step touch lists. This module abstract-interprets both ASTs over an
+*affine index domain* — polynomials with rational coefficients over
+opaque symbols (kernel parameters, loop-step indices, loop-element
+values) — and reduces each to a :class:`RegionSummary`: an ordered,
+per-step list of ``(mode, array, lo, hi)`` word spans, with optional
+first-use conditions for lazy-caching kernels. Two summaries that
+compare equal mean the descriptor provably mirrors the body's access
+order; the comparison itself lives in :mod:`repro.lint.touch`.
+
+Loops are handled by **first-iteration peeling** plus a steady-state
+stabilization check (the widening step): the body is interpreted once
+with the loop position pinned to 0 (resolving ``k == 0`` /
+``down is None`` first-iteration idioms), then twice more at a symbolic
+position ``>= 1``; if the second and third passes do not emit identical
+summaries, the loop-carried state failed to stabilize and the kernel is
+reported unverifiable (K004) rather than guessed at.
+
+Everything unsupported degrades to :class:`VOpaque`; an opaque value
+reaching an access extent or index raises :class:`SymbolicError` with
+the offending source expression — the honest "cannot verify" outcome.
+
+Deliberate approximations (documented, checked dynamically by
+``tests/test_touch_vs_trace.py``):
+
+* element-wise numpy arithmetic between a known-length block and an
+  unknown operand is assumed length-preserving (kernels do not rely on
+  broadcasting to *grow* a block);
+* first-use conditions compare by key polynomial only (two caches keyed
+  by the same expression are not distinguished);
+* an ``if <...lowerable...>: return`` guard in a constructor is taken
+  as false (the summary models the lowering-enabled path).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterator, Sequence, Union
+
+#: A monomial: the sorted tuple of symbol names multiplied together.
+#: The empty tuple is the constant term.
+Mono = tuple[str, ...]
+
+
+class SymbolicError(Exception):
+    """Analysis left the affine domain; ``node`` locates the blame."""
+
+    def __init__(self, why: str, node: ast.AST | None = None) -> None:
+        super().__init__(why)
+        self.why = why
+        self.line = getattr(node, "lineno", 0) if node is not None else 0
+        self.col = getattr(node, "col_offset", 0) if node is not None else 0
+
+
+# ---------------------------------------------------------------------------
+# Polynomials over opaque symbols
+# ---------------------------------------------------------------------------
+
+
+class Poly:
+    """A polynomial with :class:`~fractions.Fraction` coefficients over
+    opaque symbols. Affine index expressions — and the products of
+    symbolic strides real kernels use, like ``(i * nb + k) * B * B`` —
+    normalize to one canonical term dict, so two spellings of the same
+    span compare equal."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: dict[Mono, Fraction]) -> None:
+        self.terms: dict[Mono, Fraction] = {
+            m: c for m, c in terms.items() if c != 0}
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def const(value: Union[int, float, Fraction]) -> "Poly":
+        return Poly({(): Fraction(value)})
+
+    @staticmethod
+    def sym(name: str) -> "Poly":
+        return Poly({(name,): Fraction(1)})
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "Poly") -> "Poly":
+        terms = dict(self.terms)
+        for m, c in other.terms.items():
+            terms[m] = terms.get(m, Fraction(0)) + c
+        return Poly(terms)
+
+    def __sub__(self, other: "Poly") -> "Poly":
+        return self + (-other)
+
+    def __neg__(self) -> "Poly":
+        return Poly({m: -c for m, c in self.terms.items()})
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        terms: dict[Mono, Fraction] = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                m = tuple(sorted(m1 + m2))
+                terms[m] = terms.get(m, Fraction(0)) + c1 * c2
+        return Poly(terms)
+
+    # -- queries -----------------------------------------------------------
+
+    def as_const(self) -> Fraction | None:
+        if not self.terms:
+            return Fraction(0)
+        if len(self.terms) == 1 and () in self.terms:
+            return self.terms[()]
+        return None
+
+    def key(self) -> tuple[tuple[Mono, Fraction], ...]:
+        return tuple(sorted(self.terms.items()))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Poly) and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset(s for m in self.terms for s in m)
+
+    def substitute(self, name: str, value: "Poly") -> "Poly":
+        """Replace every occurrence of symbol ``name`` with ``value``."""
+        out = Poly({})
+        for m, c in self.terms.items():
+            term = Poly({tuple(s for s in m if s != name): c})
+            for _ in range(sum(1 for s in m if s == name)):
+                term = term * value
+            out = out + term
+        return out
+
+    def render(self) -> str:
+        if not self.terms:
+            return "0"
+        parts: list[str] = []
+        for m, c in sorted(self.terms.items()):
+            body = "*".join(m)
+            if not m:
+                parts.append(str(c))
+            elif c == 1:
+                parts.append(body)
+            elif c == -1:
+                parts.append(f"-{body}")
+            else:
+                parts.append(f"{c}*{body}")
+        return " + ".join(parts).replace("+ -", "- ")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Poly({self.render()})"
+
+
+#: Steady-state loop-position symbols (created by the peeled loop
+#: interpreter) are known to be >= 1; this prefix marks them so
+#: ``k == 0`` resolves to a definite False past the first iteration.
+_POS_PREFIX = "$i:"
+
+
+def poly_is_zero(p: Poly) -> bool | None:
+    """True/False when provable, None when unknown."""
+    c = p.as_const()
+    if c is not None:
+        return c == 0
+    if len(p.terms) == 1:
+        (mono, coeff), = p.terms.items()
+        if all(s.startswith(_POS_PREFIX) for s in mono) and coeff != 0:
+            return False
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Summary entries
+# ---------------------------------------------------------------------------
+
+#: A condition atom: ``("first", key-poly-render)`` for first-use tests,
+#: ``("expr", canonical-source)`` for anything else; paired with its
+#: polarity. Entries carry a frozenset of atoms (conjunction).
+CondAtom = tuple[str, str, bool]
+Conds = frozenset[CondAtom]
+
+READ_MODE = "R"
+WRITE_MODE = "W"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One ordered touch: ``mode`` over words ``[lo, hi)`` of ``array``."""
+
+    mode: str
+    array: str
+    lo: Poly
+    hi: Poly
+    conds: Conds = frozenset()
+
+    def render(self) -> str:
+        cond = ""
+        if self.conds:
+            shown = sorted(
+                f"{'' if pos else '!'}{kind}({what})"
+                for kind, what, pos in self.conds)
+            cond = f" if {' and '.join(shown)}"
+        return (f"{self.mode} {self.array}"
+                f"[{self.lo.render()} : {self.hi.render()}]{cond}")
+
+
+@dataclass(frozen=True)
+class Scatter:
+    """A within-step loop of touches: ``entries`` once per element of
+    ``seq``, in element order (ilink's per-word scattered writes)."""
+
+    seq: str
+    entries: tuple["Entry", ...]
+    conds: Conds = frozenset()
+
+    def render(self) -> str:
+        inner = "; ".join(e.render() for e in self.entries)
+        return f"for each of {self.seq}: [{inner}]"
+
+
+Entry = Union[Span, Scatter]
+
+
+@dataclass(frozen=True)
+class StepTemplate:
+    """The ordered touches of one super-step."""
+
+    entries: tuple[Entry, ...]
+
+    def render(self) -> str:
+        return "; ".join(e.render() for e in self.entries) or "(none)"
+
+
+@dataclass(frozen=True)
+class RegionSummary:
+    """What one region provably touches, step by step.
+
+    ``prologue`` holds the peeled leading steps (all steps, for loopless
+    single-step kernels); ``body`` is the steady-state template of the
+    step loop over sequence ``seq`` (None when there is no step loop).
+    """
+
+    prologue: tuple[StepTemplate, ...]
+    seq: str | None
+    body: StepTemplate | None
+
+    def render(self) -> str:
+        lines = [f"step[{k}]: {t.render()}"
+                 for k, t in enumerate(self.prologue)]
+        if self.body is not None:
+            lines.append(f"step[k>=1 over {self.seq}]: {self.body.render()}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Abstract values
+# ---------------------------------------------------------------------------
+
+
+class Value:
+    """Base of the abstract value lattice."""
+
+    __slots__ = ()
+
+
+@dataclass
+class VPoly(Value):
+    p: Poly
+
+
+@dataclass
+class VBlock(Value):
+    """A numpy array of known total word length."""
+
+    length: Poly
+
+
+@dataclass
+class VParam(Value):
+    """An unresolved kernel parameter / attribute, named canonically
+    (``self._src``); usable as a number, array handle, or sequence."""
+
+    canon: str
+
+
+@dataclass
+class VTuple(Value):
+    items: tuple[Value, ...]
+
+
+@dataclass
+class VNone(Value):
+    pass
+
+
+@dataclass
+class VBool(Value):
+    b: bool
+
+
+@dataclass
+class VCond(Value):
+    """An abstract boolean: one condition atom."""
+
+    kind: str
+    what: str
+    positive: bool
+
+
+@dataclass
+class VCache(Value):
+    """A set/dict used as a first-use cache (LU's lazy row/col loads)."""
+
+    empty: bool
+
+
+@dataclass
+class VList(Value):
+    """A list being built into touch entries (``step``) or into a list
+    of steps (``touches``); ``steps`` flips once a list is appended."""
+
+    entries: list[Entry] = field(default_factory=list)
+    steps: list[tuple[Entry, ...]] | None = None
+    opaque: bool = False
+
+
+@dataclass
+class VSpanExpr(Value):
+    """The result of ``self.span_pages(arr, lo, hi)``."""
+
+    array: str
+    lo: Poly
+    hi: Poly
+
+
+@dataclass
+class VEnumerate(Value):
+    seq: str
+
+
+@dataclass
+class VFunc(Value):
+    """An inlinable single-return helper (``LU._block_base``)."""
+
+    func: ast.FunctionDef
+
+
+@dataclass
+class VEnvMethod(Value):
+    name: str
+
+
+@dataclass
+class VMode(Value):
+    """The READ/WRITE touch-mode constants."""
+
+    mode: str
+
+
+@dataclass
+class VOpaque(Value):
+    why: str = "unsupported expression"
+
+
+#: numpy ndarray methods that preserve the total element count.
+_LENGTH_PRESERVING = frozenset({"copy", "ravel", "astype"})
+
+#: env methods that read/write shared arrays: name -> (mode, is_block).
+_ACCESSES = {"get": (READ_MODE, False), "get_block": (READ_MODE, True),
+             "set": (WRITE_MODE, False), "set_block": (WRITE_MODE, True)}
+
+
+def _canon_expr(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)  # type: ignore[arg-type]
+    except Exception:  # pragma: no cover - unparse is total on exprs
+        return "<?>"
+
+
+class _Frame:
+    """One interpretation context: bindings + the step being built."""
+
+    __slots__ = ("bindings", "attrs", "cur", "closed")
+
+    def __init__(self) -> None:
+        self.bindings: dict[str, Value] = {}
+        self.attrs: dict[str, Value] = {}
+        #: Touches of the step currently being accumulated.
+        self.cur: list[Entry] = []
+        #: Steps closed so far (by ``yield`` / ``touches.append``).
+        self.closed: list[tuple[Entry, ...]] = []
+
+
+class SymbolicInterp:
+    """Abstract interpreter over one kernel method's statements.
+
+    Two modes share all machinery: ``interp`` mode closes a step at
+    every plain ``yield``; ``ctor`` mode closes a step whenever a
+    span list is appended to the steps list (``touches.append(step)``)
+    and finishes when ``self.touches`` is assigned.
+    """
+
+    def __init__(self, mode: str, self_name: str, env_name: str | None,
+                 param_canon: dict[str, str],
+                 module_consts: dict[str, Poly],
+                 helpers: dict[str, ast.FunctionDef]) -> None:
+        assert mode in ("interp", "ctor")
+        self.mode = mode
+        self.self_name = self_name
+        self.env_name = env_name
+        self.param_canon = param_canon
+        self.module_consts = module_consts
+        self.helpers = helpers
+        self.frame = _Frame()
+        self.conds: list[CondAtom] = []
+        #: Set when ``self.touches`` is assigned (ctor mode).
+        self.touches_value: VList | None = None
+        #: The step loop, once seen: (canonical seq, ast node).
+        self.loop_seq: str | None = None
+        self.body_template: StepTemplate | None = None
+        self._loop_done = False
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt]) -> RegionSummary:
+        for stmt in body:
+            self._stmt(stmt)
+        if self.mode == "ctor":
+            if self.touches_value is None:
+                raise SymbolicError(
+                    "no self.touches assignment found in __init__")
+            closed = self.touches_value.steps
+            if closed is None:
+                raise SymbolicError(
+                    "self.touches is not a recognizable list of steps")
+            prologue = tuple(StepTemplate(s) for s in closed)
+        else:
+            if self.frame.cur:
+                raise SymbolicError(
+                    "accesses after the final yield do not belong to "
+                    "any super-step")
+            prologue = tuple(StepTemplate(s) for s in self.frame.closed)
+        return RegionSummary(prologue=prologue, seq=self.loop_seq,
+                             body=self.body_template)
+
+    # -- statements --------------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._expr(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, value, stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._expr(stmt.value),
+                             stmt.value)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._augassign(stmt)
+            return
+        if isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, ast.Yield):
+                if stmt.value.value is not None:
+                    self._expr(stmt.value.value)
+                self._close_step(stmt)
+                return
+            self._expr(stmt.value)
+            return
+        if isinstance(stmt, ast.If):
+            self._if(stmt)
+            return
+        if isinstance(stmt, ast.For):
+            self._for(stmt)
+            return
+        if isinstance(stmt, ast.Return):
+            # Constructors end early on the not-lowerable guard; _if
+            # already skips that branch, so a reachable return here is
+            # the normal end of the analyzed path.
+            if stmt.value is not None:
+                self._expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Pass):
+            return
+        if isinstance(stmt, (ast.While, ast.Try, ast.With, ast.AsyncWith,
+                             ast.Match)):
+            if self._contains_access_or_yield(stmt):
+                raise SymbolicError(
+                    f"unsupported control flow for touch inference: "
+                    f"{type(stmt).__name__.lower()} around accesses",
+                    stmt)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Assert, ast.Delete,
+                             ast.Global, ast.Nonlocal, ast.Import,
+                             ast.ImportFrom)):
+            return
+        raise SymbolicError(
+            f"unsupported statement: {type(stmt).__name__}", stmt)
+
+    def _contains_access_or_yield(self, stmt: ast.stmt) -> bool:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(node, ast.Call):
+                f = node.func
+                if isinstance(f, ast.Attribute) and f.attr in _ACCESSES:
+                    return True
+                if isinstance(f, ast.Name):
+                    bound = self.frame.bindings.get(f.id)
+                    if isinstance(bound, VEnvMethod) \
+                            and bound.name in _ACCESSES:
+                        return True
+        return False
+
+    # -- assignment --------------------------------------------------------
+
+    def _assign(self, target: ast.expr, value: Value,
+                src: ast.expr | None) -> None:
+        if isinstance(target, ast.Name):
+            self.frame.bindings[target.id] = value
+            return
+        if isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == self.self_name:
+            if target.attr == "touches" and self.mode == "ctor":
+                self._finish_touches(value, src)
+            self.frame.attrs[target.attr] = value
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            items = value.items if isinstance(value, VTuple) else None
+            for k, t in enumerate(target.elts):
+                if items is not None and k < len(items):
+                    self._assign(t, items[k], None)
+                else:
+                    self._assign(t, VOpaque("tuple unpack"), None)
+            return
+        if isinstance(target, ast.Subscript):
+            # Stores into local buffers (``block[a:b] = ...``) don't
+            # touch shared memory; stores into a cache mark it warm.
+            base = self._expr(target.value)
+            if isinstance(base, VCache):
+                base.empty = False
+            return
+        raise SymbolicError(
+            f"unsupported assignment target: {_canon_expr(target)}",
+            target)
+
+    def _finish_touches(self, value: Value, src: ast.expr | None) -> None:
+        if isinstance(value, VList) and not value.opaque:
+            if value.steps is None and not value.entries:
+                value.steps = []
+            if value.steps is None:
+                raise SymbolicError(
+                    "self.touches assigned a span list, not a list of "
+                    "per-step lists", src)
+            self.touches_value = value
+            return
+        raise SymbolicError(
+            "self.touches assignment is not analyzable "
+            f"({_canon_expr(src) if src is not None else '<?>'})", src)
+
+    def _augassign(self, stmt: ast.AugAssign) -> None:
+        target = stmt.target
+        value = self._expr(stmt.value)
+        if isinstance(target, ast.Name):
+            cur = self.frame.bindings.get(target.id, VOpaque())
+            # ``step += [(MODE, p) ...]`` must extend the *same* list
+            # object: scatter-loop tracking and the steps list hold
+            # references to it.
+            if isinstance(stmt.op, ast.Add) and isinstance(cur, VList) \
+                    and isinstance(value, VList) \
+                    and not cur.opaque and not value.opaque \
+                    and cur.steps is None and value.steps is None:
+                cur.entries.extend(value.entries)
+                return
+            self.frame.bindings[target.id] = \
+                self._binop_values(cur, stmt.op, value, stmt)
+            return
+        if isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == self.self_name:
+            cur = self.frame.attrs.get(target.attr, VOpaque())
+            self.frame.attrs[target.attr] = \
+                self._binop_values(cur, stmt.op, value, stmt)
+            return
+        if isinstance(target, ast.Subscript):
+            self._expr(target.value)
+            return
+        raise SymbolicError("unsupported augmented assignment", stmt)
+
+    # -- steps -------------------------------------------------------------
+
+    def _close_step(self, at: ast.stmt) -> None:
+        if self.conds:
+            raise SymbolicError(
+                "super-step boundary under an unresolved condition", at)
+        self.frame.closed.append(tuple(self.frame.cur))
+        self.frame.cur = []
+
+    def _touch(self, mode: str, array: str, lo: Poly, hi: Poly) -> None:
+        self.frame.cur.append(
+            Span(mode, array, lo, hi, frozenset(self.conds)))
+
+    # -- conditionals ------------------------------------------------------
+
+    def _is_lowerable_guard(self, stmt: ast.If) -> bool:
+        if self.mode != "ctor" or stmt.orelse:
+            return False
+        if not all(isinstance(s, (ast.Return, ast.Pass, ast.Expr))
+                   for s in stmt.body):
+            return False
+        if not any(isinstance(s, ast.Return) for s in stmt.body):
+            return False
+        return any(isinstance(n, ast.Attribute) and n.attr == "lowerable"
+                   for n in ast.walk(stmt.test))
+
+    def _if(self, stmt: ast.If) -> None:
+        if self._is_lowerable_guard(stmt):
+            return  # model the lowering-enabled fall-through
+        try:
+            cond = self._cond(stmt.test)
+        except SymbolicError:
+            # A data-dependent branch (``if red:``) is fine as long as
+            # it cannot affect the touch summary: no accesses, no step
+            # boundaries. Interpret both arms for their local bindings.
+            if self._contains_access_or_yield(stmt) \
+                    or self._closes_steps_anywhere(stmt):
+                raise
+            for s in stmt.body:
+                self._stmt(s)
+            for s in stmt.orelse:
+                self._stmt(s)
+            return
+        if cond is True:
+            for s in stmt.body:
+                self._stmt(s)
+            return
+        if cond is False:
+            for s in stmt.orelse:
+                self._stmt(s)
+            return
+        kind, what, positive = cond
+        self.conds.append((kind, what, positive))
+        for s in stmt.body:
+            self._stmt(s)
+        self.conds.pop()
+        if stmt.orelse:
+            self.conds.append((kind, what, not positive))
+            for s in stmt.orelse:
+                self._stmt(s)
+            self.conds.pop()
+
+    def _cond(self, test: ast.expr) -> Union[bool, CondAtom]:
+        value = self._expr(test)
+        return self._cond_of_value(value, test)
+
+    def _cond_of_value(self, value: Value,
+                       test: ast.expr) -> Union[bool, CondAtom]:
+        if isinstance(value, VBool):
+            return value.b
+        if isinstance(value, VCond):
+            return (value.kind, value.what, value.positive)
+        if isinstance(value, VPoly):
+            z = poly_is_zero(value.p)
+            if z is not None:
+                return not z
+        raise SymbolicError(
+            f"branch condition is not analyzable: {_canon_expr(test)}",
+            test)
+
+    # -- loops -------------------------------------------------------------
+
+    def _closes_steps_anywhere(self, stmt: ast.stmt) -> bool:
+        """Does this statement (or anything under it) close a super-step
+        (a plain yield in interp mode, an append to the steps list in
+        ctor mode)?"""
+        for node in ast.walk(stmt):
+            if self.mode == "interp" and isinstance(node, ast.Yield):
+                return True
+            if self.mode == "ctor" and isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "append" \
+                    and isinstance(node.func.value, ast.Name):
+                bound = self.frame.bindings.get(node.func.value.id)
+                if isinstance(bound, VList) and not bound.opaque \
+                        and not bound.entries:
+                    return True
+        return False
+
+    def _seq_of(self, iter_expr: ast.expr) -> tuple[str, bool]:
+        """Canonical sequence name of a loop iterable + enumerate flag."""
+        expr = iter_expr
+        enum = False
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+                and expr.func.id == "enumerate" and len(expr.args) == 1:
+            enum = True
+            expr = expr.args[0]
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            bound = self.frame.bindings.get(name)
+            if isinstance(bound, VParam):
+                return bound.canon, enum
+            if name in self.param_canon:
+                return self.param_canon[name], enum
+            return f"local:{name}", enum
+        if isinstance(expr, ast.Attribute) \
+                and isinstance(expr.value, ast.Name) \
+                and expr.value.id == self.self_name:
+            return f"self.{expr.attr}", enum
+        raise SymbolicError(
+            f"loop iterates an unrecognizable sequence: "
+            f"{_canon_expr(iter_expr)}", iter_expr)
+
+    def _bind_loop_target(self, stmt: ast.For, seq: str, enum: bool,
+                          at: str) -> None:
+        """Bind the loop target for iteration tag ``at`` ("0" peeled,
+        "s" steady)."""
+        pos: Value
+        if at == "0":
+            pos = VPoly(Poly.const(0))
+        else:
+            pos = VPoly(Poly.sym(f"{_POS_PREFIX}{seq}"))
+        elem_syms = [f"$e:{seq}" if at == "s" else f"$e0:{seq}"]
+
+        def elem(k: int | None = None) -> Value:
+            base = elem_syms[0]
+            name = base if k is None else f"{base}.{k}"
+            return VPoly(Poly.sym(name))
+
+        target = stmt.target
+        if enum:
+            if not (isinstance(target, ast.Tuple)
+                    and len(target.elts) == 2):
+                raise SymbolicError(
+                    "enumerate loop must unpack (index, element)", stmt)
+            self._assign(target.elts[0], pos, None)
+            target = target.elts[1]
+        if isinstance(target, ast.Name):
+            self._assign(target, elem(), None)
+            return
+        if isinstance(target, ast.Tuple):
+            for k, t in enumerate(target.elts):
+                self._assign(t, elem(k), None)
+            return
+        raise SymbolicError("unsupported loop target", stmt)
+
+    def _for(self, stmt: ast.For) -> None:
+        if self._closes_steps_anywhere(stmt):
+            self._step_loop(stmt)
+        elif self._contains_access_or_yield(stmt) \
+                or self._builds_spans(stmt):
+            self._scatter_loop(stmt)
+        # else: pure local math; nothing the summary models
+
+    def _builds_spans(self, stmt: ast.stmt) -> bool:
+        """Does the loop body grow a span list under construction?"""
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.AugAssign) \
+                    and isinstance(node.target, ast.Name):
+                bound = self.frame.bindings.get(node.target.id)
+                if isinstance(bound, VList) and not bound.opaque \
+                        and bound.steps is None:
+                    return True
+        return False
+
+    def _step_loop(self, stmt: ast.For) -> None:
+        if self._loop_done:
+            raise SymbolicError(
+                "more than one super-step loop in the region", stmt)
+        if self.conds:
+            raise SymbolicError(
+                "super-step loop under an unresolved condition", stmt)
+        seq, enum = self._seq_of(stmt.iter)
+        self.loop_seq = seq
+        self._loop_done = True
+        # Peel the first iteration: loop position 0, distinct element
+        # symbols, so ``k == 0`` / ``down is None`` idioms resolve.
+        self._bind_loop_target(stmt, seq, enum, at="0")
+        before = len(self._closed_steps())
+        for s in stmt.body:
+            self._stmt(s)
+        peeled = len(self._closed_steps()) - before
+        if peeled != 1:
+            raise SymbolicError(
+                f"one loop iteration closed {peeled} super-steps "
+                f"(need exactly 1: a trailing yield / touches.append)",
+                stmt)
+        if self.frame.cur:
+            raise SymbolicError(
+                "touches recorded after the step boundary inside the "
+                "loop body", stmt)
+        # Steady state at a symbolic position >= 1, run twice: the
+        # second pass must reproduce the first or the loop-carried
+        # state did not stabilize (the widening check).
+        templates: list[tuple[Entry, ...]] = []
+        for _ in range(2):
+            self._bind_loop_target(stmt, seq, enum, at="s")
+            before = len(self._closed_steps())
+            for s in stmt.body:
+                self._stmt(s)
+            closed = self._closed_steps()
+            if len(closed) - before != 1:
+                raise SymbolicError(
+                    "steady-state iteration did not close exactly one "
+                    "super-step", stmt)
+            templates.append(closed.pop())
+        if templates[0] != templates[1]:
+            raise SymbolicError(
+                "loop-carried state does not stabilize after one "
+                "iteration (summary would be unsound)", stmt)
+        self.body_template = StepTemplate(templates[0])
+
+    def _closed_steps(self) -> list[tuple[Entry, ...]]:
+        if self.mode == "interp":
+            return self.frame.closed
+        # ctor mode: the steps list being appended to. Find the unique
+        # VList in steps mode; before any append, fall back to closed.
+        for v in self.frame.bindings.values():
+            if isinstance(v, VList) and v.steps is not None:
+                return v.steps
+        for v in self.frame.attrs.values():
+            if isinstance(v, VList) and v.steps is not None:
+                return v.steps
+        return self.frame.closed
+
+    def _scatter_loop(self, stmt: ast.For) -> None:
+        seq, enum = self._seq_of(stmt.iter)
+        # Track growth of the current step and of every live span list;
+        # the suffix becomes one Scatter entry.
+        lists = [v for v in self.frame.bindings.values()
+                 if isinstance(v, VList) and v.steps is None
+                 and not v.opaque]
+        marks = [len(v.entries) for v in lists]
+        cur_mark = len(self.frame.cur)
+        suffixes: list[list[Entry]] = []
+        for _ in range(2):
+            self._bind_loop_target(stmt, seq, enum, at="s")
+            for s in stmt.body:
+                self._stmt(s)
+            suffix: list[Entry] = []
+            for v, mark in zip(lists, marks):
+                suffix.extend(v.entries[mark:])
+                del v.entries[mark:]
+            suffix.extend(self.frame.cur[cur_mark:])
+            del self.frame.cur[cur_mark:]
+            suffixes.append(suffix)
+        if suffixes[0] != suffixes[1]:
+            raise SymbolicError(
+                "within-step loop does not stabilize", stmt)
+        if not suffixes[0]:
+            return
+        entry = Scatter(seq, tuple(suffixes[0]), frozenset(self.conds))
+        # Scattered touches appended to a span list under construction
+        # stay in that list; otherwise they join the current step.
+        target_list = self._scatter_target(stmt, lists, marks)
+        if target_list is not None:
+            target_list.entries.append(entry)
+        else:
+            self.frame.cur.append(entry)
+
+    def _scatter_target(self, stmt: ast.For, lists: list[VList],
+                        marks: list[int]) -> VList | None:
+        """The span list the loop body appends to, if any: detected
+        syntactically (``name += [...]`` / ``name.append``)."""
+        for node in ast.walk(stmt):
+            name: str | None = None
+            if isinstance(node, ast.AugAssign) \
+                    and isinstance(node.target, ast.Name):
+                name = node.target.id
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "append" \
+                    and isinstance(node.func.value, ast.Name):
+                name = node.func.value.id
+            if name is None:
+                continue
+            bound = self.frame.bindings.get(name)
+            if isinstance(bound, VList) and bound in lists:
+                return bound
+        return None
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, expr: ast.expr) -> Value:
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool):
+                return VBool(expr.value)
+            if isinstance(expr.value, (int, float)):
+                return VPoly(Poly.const(expr.value))
+            if expr.value is None:
+                return VNone()
+            return VOpaque("constant")
+        if isinstance(expr, ast.Name):
+            return self._name(expr)
+        if isinstance(expr, ast.Attribute):
+            return self._attribute(expr)
+        if isinstance(expr, ast.BinOp):
+            left = self._expr(expr.left)
+            right = self._expr(expr.right)
+            return self._binop_values(left, expr.op, right, expr)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._expr(expr.operand)
+            if isinstance(expr.op, ast.USub):
+                p = self._as_poly(operand)
+                if p is not None:
+                    return VPoly(-p)
+                if isinstance(operand, VBlock):
+                    return VBlock(operand.length)
+            if isinstance(expr.op, ast.Not):
+                if isinstance(operand, VBool):
+                    return VBool(not operand.b)
+                if isinstance(operand, VCond):
+                    return VCond(operand.kind, operand.what,
+                                 not operand.positive)
+            return VOpaque("unary op")
+        if isinstance(expr, ast.Compare):
+            return self._compare(expr)
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.Tuple):
+            return VTuple(tuple(self._expr(e) for e in expr.elts))
+        if isinstance(expr, ast.List):
+            return self._list_literal(expr)
+        if isinstance(expr, ast.ListComp):
+            return self._listcomp(expr)
+        if isinstance(expr, (ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            return VOpaque("comprehension")
+        if isinstance(expr, ast.Subscript):
+            return self._subscript(expr)
+        if isinstance(expr, ast.JoinedStr):
+            return VOpaque("f-string")
+        if isinstance(expr, ast.IfExp):
+            self._expr(expr.test)
+            self._expr(expr.body)
+            self._expr(expr.orelse)
+            return VOpaque("conditional expression")
+        if isinstance(expr, ast.Dict):
+            if not expr.keys:
+                return VCache(empty=True)
+            return VOpaque("dict literal")
+        if isinstance(expr, ast.BoolOp):
+            for v in expr.values:
+                self._expr(v)
+            return VOpaque("boolean operator")
+        if isinstance(expr, ast.Starred):
+            return self._expr(expr.value)
+        return VOpaque(type(expr).__name__)
+
+    def _subscript(self, expr: ast.Subscript) -> Value:
+        base = self._expr(expr.value)
+        if isinstance(expr.slice, ast.Slice):
+            lo = self._expr(expr.slice.lower) \
+                if expr.slice.lower is not None else None
+            hi = self._expr(expr.slice.upper) \
+                if expr.slice.upper is not None else None
+            if expr.slice.step is not None:
+                self._expr(expr.slice.step)
+                return VOpaque("strided slice")
+            if isinstance(base, VBlock):
+                lp = self._as_poly(lo) if lo is not None \
+                    else Poly.const(0)
+                hp = self._as_poly(hi) if hi is not None else base.length
+                if lp is not None and hp is not None:
+                    return VBlock(hp - lp)
+            return VOpaque("slice")
+        index = self._expr(expr.slice)
+        if isinstance(base, VTuple):
+            p = self._as_poly(index)
+            c = p.as_const() if p is not None else None
+            if c is not None and c.denominator == 1 \
+                    and 0 <= int(c) < len(base.items):
+                return base.items[int(c)]
+        if isinstance(base, VCache):
+            return VOpaque("cache lookup")
+        # Fancy indexing (``pool[mine]``) and scalar element reads of
+        # local blocks: values only, never a shared-memory touch.
+        return VOpaque("subscript")
+
+    def _name(self, expr: ast.Name) -> Value:
+        name = expr.id
+        if name in self.frame.bindings:
+            return self.frame.bindings[name]
+        if name in ("READ", "WRITE"):
+            return VMode(READ_MODE if name == "READ" else WRITE_MODE)
+        if name in self.param_canon:
+            return VParam(self.param_canon[name])
+        if name in self.module_consts:
+            return VPoly(self.module_consts[name])
+        if name in self.helpers:
+            return VFunc(self.helpers[name])
+        return VOpaque(f"unknown name {name!r}")
+
+    def _attribute(self, expr: ast.Attribute) -> Value:
+        if isinstance(expr.value, ast.Name):
+            base = expr.value.id
+            if base == self.self_name:
+                if expr.attr in self.frame.attrs:
+                    return self.frame.attrs[expr.attr]
+                return VParam(f"self.{expr.attr}")
+            if self.env_name is not None and base == self.env_name:
+                return VEnvMethod(expr.attr)
+            bound = self.frame.bindings.get(base)
+            if isinstance(bound, VParam):
+                return VParam(f"{bound.canon}.{expr.attr}")
+            # Class-qualified helpers: ``LU._block_base``.
+            key = f"{base}.{expr.attr}"
+            if key in self.helpers:
+                return VFunc(self.helpers[key])
+            if expr.attr in ("READ", "WRITE"):
+                return VMode(READ_MODE if expr.attr == "READ"
+                             else WRITE_MODE)
+        return VOpaque(f"attribute {_canon_expr(expr)}")
+
+    def _as_poly(self, value: Value) -> Poly | None:
+        if isinstance(value, VPoly):
+            return value.p
+        if isinstance(value, VParam):
+            return Poly.sym(value.canon)
+        return None
+
+    def _binop_values(self, left: Value, op: ast.operator, right: Value,
+                      at: ast.AST) -> Value:
+        lp, rp = self._as_poly(left), self._as_poly(right)
+        if lp is not None and rp is not None:
+            if isinstance(op, ast.Add):
+                return VPoly(lp + rp)
+            if isinstance(op, ast.Sub):
+                return VPoly(lp - rp)
+            if isinstance(op, ast.Mult):
+                return VPoly(lp * rp)
+            if isinstance(op, (ast.Div, ast.FloorDiv)):
+                c = rp.as_const()
+                if c is not None and c != 0:
+                    scaled = lp * Poly.const(Fraction(1, 1) / c)
+                    if isinstance(op, ast.Div):
+                        return VPoly(scaled)
+                    sc = scaled.as_const()
+                    if sc is not None and sc.denominator == 1:
+                        return VPoly(scaled)
+                return VOpaque("division")
+            if isinstance(op, ast.Mod):
+                return VOpaque("modulo")
+            return VOpaque("operator")
+        # List concatenation builds span lists.
+        if isinstance(op, ast.Add) and isinstance(left, VList) \
+                and isinstance(right, VList):
+            if left.opaque or right.opaque \
+                    or left.steps is not None or right.steps is not None:
+                return VOpaque("list concatenation")
+            return VList(entries=list(left.entries) + list(right.entries))
+        # Element-wise numpy arithmetic: a block keeps its length when
+        # combined with a scalar or an unknown operand (see module
+        # docstring for why this assumption is acceptable).
+        if isinstance(left, VBlock):
+            if isinstance(right, VBlock) \
+                    and left.length != right.length:
+                return VOpaque("block arithmetic of differing lengths")
+            return VBlock(left.length)
+        if isinstance(right, VBlock):
+            return VBlock(right.length)
+        return VOpaque("operator")
+
+    def _compare(self, expr: ast.Compare) -> Value:
+        if len(expr.ops) != 1:
+            return VOpaque("chained comparison")
+        op = expr.ops[0]
+        left = self._expr(expr.left)
+        right = self._expr(expr.comparators[0])
+        if isinstance(op, (ast.In, ast.NotIn)) \
+                and isinstance(right, VCache):
+            key = self._as_poly(left)
+            if key is None:
+                raise SymbolicError(
+                    "cache membership key is not affine: "
+                    f"{_canon_expr(expr.left)}", expr)
+            if right.empty:
+                return VBool(isinstance(op, ast.NotIn))
+            return VCond("first", key.render(), isinstance(op, ast.NotIn))
+        if isinstance(op, (ast.Is, ast.IsNot)):
+            if isinstance(right, VNone):
+                is_none = isinstance(left, VNone)
+                if isinstance(left, (VNone, VBlock, VPoly, VList,
+                                     VTuple, VCache)):
+                    return VBool(is_none if isinstance(op, ast.Is)
+                                 else not is_none)
+            return VOpaque("identity comparison")
+        lp, rp = self._as_poly(left), self._as_poly(right)
+        if lp is not None and rp is not None \
+                and isinstance(op, (ast.Eq, ast.NotEq)):
+            z = poly_is_zero(lp - rp)
+            if z is not None:
+                return VBool(z if isinstance(op, ast.Eq) else not z)
+        return VOpaque("comparison")
+
+    # -- calls -------------------------------------------------------------
+
+    def _call(self, expr: ast.Call) -> Value:
+        func = self._callee(expr)
+        if isinstance(func, VEnvMethod):
+            return self._env_call(func.name, expr)
+        if isinstance(func, VOpaque) and self._is_self_method(
+                expr, "span_pages"):
+            return self._span_pages(expr)
+        if isinstance(func, VFunc):
+            return self._inline(func.func, expr)
+        if isinstance(func, VCache):
+            return VOpaque("cache method")
+        # Builtins and library calls.
+        name = self._call_name(expr)
+        if name == "enumerate" and len(expr.args) == 1:
+            seq, _ = self._seq_of(expr)
+            return VEnumerate(seq)
+        if name == "len" and len(expr.args) == 1:
+            arg = self._expr(expr.args[0])
+            if isinstance(arg, VBlock):
+                return VPoly(arg.length)
+            if isinstance(arg, VParam):
+                return VPoly(Poly.sym(f"len:{arg.canon}"))
+            return VOpaque("len of unknown")
+        if name == "int" and len(expr.args) == 1:
+            arg = self._expr(expr.args[0])
+            p = self._as_poly(arg)
+            return VPoly(p) if p is not None else VOpaque("int()")
+        if name == "set" and not expr.args:
+            return VCache(empty=True)
+        if name in ("np.empty", "np.zeros", "np.ones") and expr.args:
+            arg = self._expr(expr.args[0])
+            p = self._as_poly(arg)
+            if p is not None:
+                return VBlock(p)
+            return VOpaque("nd allocation")
+        # Method calls on known values.
+        if isinstance(expr.func, ast.Attribute):
+            recv = self._expr(expr.func.value)
+            attr = expr.func.attr
+            if isinstance(recv, VCache) and attr in ("add", "clear"):
+                for a in expr.args:
+                    self._expr(a)
+                if attr == "add":
+                    recv.empty = False
+                return VNone()
+            if isinstance(recv, VList) and attr == "append":
+                return self._list_append(recv, expr)
+            if isinstance(recv, VBlock):
+                if attr == "reshape" and expr.args:
+                    dims = [self._as_poly(self._expr(a))
+                            for a in expr.args]
+                    if all(d is not None for d in dims):
+                        total = Poly.const(1)
+                        for d in dims:
+                            assert d is not None
+                            total = total * d
+                        return VBlock(total)
+                    return VBlock(recv.length)
+                if attr in _LENGTH_PRESERVING:
+                    return VBlock(recv.length)
+                return VOpaque(f"ndarray method {attr}")
+        for a in expr.args:
+            self._expr(a)
+        for kw in expr.keywords:
+            self._expr(kw.value)
+        return VOpaque(f"call to {self._call_name(expr) or '<expr>'}")
+
+    def _callee(self, expr: ast.Call) -> Value:
+        f = expr.func
+        if isinstance(f, ast.Name):
+            bound = self.frame.bindings.get(f.id)
+            if bound is not None:
+                return bound
+            if f.id in self.helpers:
+                return VFunc(self.helpers[f.id])
+            return VOpaque(f.id)
+        if isinstance(f, ast.Attribute):
+            if isinstance(f.value, ast.Name):
+                if self.env_name is not None \
+                        and f.value.id == self.env_name:
+                    return VEnvMethod(f.attr)
+                key = f"{f.value.id}.{f.attr}"
+                if key in self.helpers:
+                    return VFunc(self.helpers[key])
+        return VOpaque("callee")
+
+    def _is_self_method(self, expr: ast.Call, name: str) -> bool:
+        f = expr.func
+        return (isinstance(f, ast.Attribute) and f.attr == name
+                and isinstance(f.value, ast.Name)
+                and f.value.id == self.self_name)
+
+    def _call_name(self, expr: ast.Call) -> str | None:
+        f = expr.func
+        if isinstance(f, ast.Name):
+            return f.id
+        if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name):
+            return f"{f.value.id}.{f.attr}"
+        return None
+
+    def _array_name(self, expr: ast.expr) -> str:
+        value = self._expr(expr)
+        if isinstance(value, VParam):
+            return value.canon
+        raise SymbolicError(
+            f"array handle is not a kernel parameter/attribute: "
+            f"{_canon_expr(expr)}", expr)
+
+    def _index_poly(self, expr: ast.expr) -> Poly:
+        value = self._expr(expr)
+        p = self._as_poly(value)
+        if p is None:
+            raise SymbolicError(
+                f"non-affine subscript: {_canon_expr(expr)}", expr)
+        return p
+
+    def _env_call(self, method: str, expr: ast.Call) -> Value:
+        if method in _ACCESSES:
+            mode, is_block = _ACCESSES[method]
+            if len(expr.args) < 2:
+                raise SymbolicError("malformed access call", expr)
+            array = self._array_name(expr.args[0])
+            lo = self._index_poly(expr.args[1])
+            if method == "get_block":
+                hi = self._index_poly(expr.args[2])
+                self._touch(mode, array, lo, hi)
+                return VBlock(hi - lo)
+            if method == "set_block":
+                values = self._expr(expr.args[2])
+                if isinstance(values, VBlock):
+                    length = values.length
+                else:
+                    vp = self._as_poly(values)
+                    if vp is None:
+                        raise SymbolicError(
+                            "set_block extent unknown: "
+                            f"{_canon_expr(expr.args[2])}", expr)
+                    length = Poly.const(1)
+                self._touch(mode, array, lo, lo + length)
+                return VNone()
+            # scalar get/set
+            if method == "set" and len(expr.args) >= 3:
+                self._expr(expr.args[2])
+            self._touch(mode, array, lo, lo + Poly.const(1))
+            return VOpaque("scalar read") if mode == READ_MODE else VNone()
+        if method == "compute":
+            for a in expr.args:
+                self._expr(a)
+            return VOpaque("compute")
+        if method == "arr":
+            return VOpaque("env.arr")
+        raise SymbolicError(
+            f"env.{method}() inside a region body (sync must stay in "
+            f"the worker)", expr)
+
+    def _span_pages(self, expr: ast.Call) -> Value:
+        if len(expr.args) != 3:
+            raise SymbolicError("span_pages needs (arr, lo, hi)", expr)
+        return VSpanExpr(self._array_name(expr.args[0]),
+                         self._index_poly(expr.args[1]),
+                         self._index_poly(expr.args[2]))
+
+    def _inline(self, func: ast.FunctionDef, expr: ast.Call) -> Value:
+        """One-level inlining of a single-return helper."""
+        body = [s for s in func.body
+                if not (isinstance(s, ast.Expr)
+                        and isinstance(s.value, ast.Constant))]
+        if len(body) != 1 or not isinstance(body[0], ast.Return) \
+                or body[0].value is None:
+            return VOpaque(f"helper {func.name} is not single-return")
+        params = [a.arg for a in func.args.args]
+        if params and params[0] == "self":
+            params = params[1:]
+        args = [self._expr(a) for a in expr.args]
+        if len(args) != len(params):
+            return VOpaque(f"helper {func.name} arity")
+        saved = self.frame.bindings
+        self.frame.bindings = dict(saved)
+        for p, a in zip(params, args):
+            self.frame.bindings[p] = a
+        try:
+            result = self._expr(body[0].value)
+        finally:
+            self.frame.bindings = saved
+        return result
+
+    # -- list building (ctor touch construction) ---------------------------
+
+    def _list_literal(self, expr: ast.List) -> Value:
+        if not expr.elts:
+            return VList()
+        values = [self._expr(e) for e in expr.elts]
+        # ``[step]`` — a literal list of span lists is a steps list.
+        if all(isinstance(v, VList) and v.steps is None and not v.opaque
+               for v in values):
+            steps = [tuple(v.entries) for v in values
+                     if isinstance(v, VList)]
+            out = VList()
+            out.steps = steps
+            return out
+        return VList(opaque=True)
+
+    def _list_append(self, recv: VList, expr: ast.Call) -> Value:
+        if len(expr.args) != 1:
+            return VNone()
+        value = self._expr(expr.args[0])
+        if isinstance(value, VList) and not value.opaque \
+                and value.steps is None:
+            # Appending a span list: this list is the steps list.
+            if recv.steps is None:
+                if recv.entries:
+                    recv.opaque = True
+                    return VNone()
+                recv.steps = []
+            if self.conds:
+                raise SymbolicError(
+                    "steps appended under an unresolved condition",
+                    expr)
+            recv.steps.append(tuple(value.entries))
+            return VNone()
+        # Appending anything else makes it an ordinary (ignored) list,
+        # unless it already collects steps.
+        if recv.steps is None and not recv.entries:
+            recv.opaque = True
+        return VNone()
+
+    def _listcomp(self, expr: ast.ListComp) -> Value:
+        """``[(MODE, p) for p in <span>]`` — the descriptor idiom."""
+        if len(expr.generators) != 1:
+            return VList(opaque=True)
+        gen = expr.generators[0]
+        if gen.ifs or gen.is_async:
+            return VList(opaque=True)
+        source = self._expr(gen.iter)
+        if not isinstance(source, VSpanExpr):
+            return VList(opaque=True)
+        if not isinstance(gen.target, ast.Name):
+            return VList(opaque=True)
+        elt = expr.elt
+        if not (isinstance(elt, ast.Tuple) and len(elt.elts) == 2
+                and isinstance(elt.elts[1], ast.Name)
+                and elt.elts[1].id == gen.target.id):
+            raise SymbolicError(
+                "unrecognized touch comprehension (expected "
+                "[(MODE, p) for p in self.span_pages(...)])", expr)
+        mode_v = self._expr(elt.elts[0])
+        if not isinstance(mode_v, VMode):
+            raise SymbolicError(
+                f"touch mode is not READ/WRITE: "
+                f"{_canon_expr(elt.elts[0])}", expr)
+        span = Span(mode_v.mode, source.array, source.lo, source.hi,
+                    frozenset(self.conds))
+        return VList(entries=[span])
+
+
+# ---------------------------------------------------------------------------
+# Module-level front end
+# ---------------------------------------------------------------------------
+
+
+def _module_consts(tree: ast.Module) -> dict[str, Poly]:
+    """Module-level numeric constants (``_DT = 0.002``)."""
+    consts: dict[str, Poly] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and isinstance(stmt.value, ast.Constant) \
+                and isinstance(stmt.value.value, (int, float)) \
+                and not isinstance(stmt.value.value, bool):
+            consts[stmt.targets[0].id] = Poly.const(stmt.value.value)
+    return consts
+
+
+def _helpers(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    """Inlinable single-return helpers, addressable as ``name`` (module
+    level) and ``Class.name`` (staticmethods)."""
+    table: dict[str, ast.FunctionDef] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.FunctionDef):
+            table[stmt.name] = stmt
+        elif isinstance(stmt, ast.ClassDef):
+            for sub in stmt.body:
+                if isinstance(sub, ast.FunctionDef):
+                    table[f"{stmt.name}.{sub.name}"] = sub
+    return table
+
+
+def _self_name(func: ast.FunctionDef) -> str:
+    args = func.args.posonlyargs + func.args.args
+    return args[0].arg if args else "self"
+
+
+def ctor_param_canon(ctor: ast.FunctionDef) -> dict[str, str]:
+    """Map constructor parameters to canonical ``self.X`` names via the
+    ``self._x = x`` idiom (parameters never stored keep a ``param:``
+    prefix so both methods agree when one is used directly)."""
+    self_name = _self_name(ctor)
+    canon: dict[str, str] = {}
+    params = [a.arg for a in
+              ctor.args.posonlyargs + ctor.args.args
+              + ctor.args.kwonlyargs]
+    def note(t: ast.expr, v: ast.expr) -> None:
+        if isinstance(t, ast.Attribute) \
+                and isinstance(t.value, ast.Name) \
+                and t.value.id == self_name \
+                and isinstance(v, ast.Name) and v.id in params:
+            canon.setdefault(v.id, f"self.{t.attr}")
+
+    for stmt in ctor.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            t, v = stmt.targets[0], stmt.value
+            # ``self._pos, self._vel = pos, vel`` counts too.
+            if isinstance(t, ast.Tuple) and isinstance(v, ast.Tuple) \
+                    and len(t.elts) == len(v.elts):
+                for te, ve in zip(t.elts, v.elts):
+                    note(te, ve)
+            else:
+                note(t, v)
+    for p in params:
+        if p != self_name:
+            canon.setdefault(p, f"param:{p}")
+    return canon
+
+
+def summarize_interp(func: ast.FunctionDef, tree: ast.Module,
+                     param_canon: dict[str, str]) -> RegionSummary:
+    """Summarize a kernel ``interp(self, env)`` body."""
+    self_name = _self_name(func)
+    env_name = None
+    for a in func.args.posonlyargs + func.args.args:
+        if a.arg == "env":
+            env_name = a.arg
+    interp = SymbolicInterp(
+        "interp", self_name, env_name, param_canon,
+        _module_consts(tree), _helpers(tree))
+    return interp.run(func.body)
+
+
+def summarize_ctor(func: ast.FunctionDef, tree: ast.Module,
+                   param_canon: dict[str, str]) -> RegionSummary:
+    """Summarize the touch-list construction in a kernel ``__init__``."""
+    self_name = _self_name(func)
+    env_name = None
+    for a in func.args.posonlyargs + func.args.args:
+        if a.arg == "env":
+            env_name = a.arg
+    interp = SymbolicInterp(
+        "ctor", self_name, env_name, param_canon,
+        _module_consts(tree), _helpers(tree))
+    body = [s for s in func.body
+            if not _is_super_init(s)]
+    return interp.run(body)
+
+
+def _is_super_init(stmt: ast.stmt) -> bool:
+    return (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.attr == "__init__")
+
+
+# ---------------------------------------------------------------------------
+# Concrete evaluation (cross-validation against live kernels)
+# ---------------------------------------------------------------------------
+
+
+class BindError(Exception):
+    """A summary symbol could not be resolved on a concrete kernel."""
+
+
+def _resolve_symbol(name: str, kernel: object,
+                    elems: dict[str, object]) -> Fraction:
+    if name in elems:
+        return Fraction(int(elems[name]))  # type: ignore[call-overload]
+    if name.startswith("self."):
+        value = getattr(kernel, name[5:])
+        return Fraction(int(value))
+    if name.startswith("len:"):
+        return Fraction(len(_resolve_seq(name[4:], kernel)))
+    raise BindError(f"unresolvable symbol {name!r}")
+
+
+def _resolve_seq(seq: str, kernel: object) -> Sequence[object]:
+    if seq.startswith("self."):
+        value = getattr(kernel, seq[5:])
+        return list(value)
+    raise BindError(f"unresolvable sequence {seq!r}")
+
+
+def _eval_poly(p: Poly, kernel: object,
+               elems: dict[str, object]) -> int:
+    total = Fraction(0)
+    for mono, coeff in p.terms.items():
+        term = coeff
+        for s in mono:
+            term *= _resolve_symbol(s, kernel, elems)
+        total += term
+    if total.denominator != 1:
+        raise BindError(f"non-integer index {p.render()} = {total}")
+    return int(total)
+
+
+def _resolve_array(name: str, kernel: object) -> object:
+    if name.startswith("self."):
+        return getattr(kernel, name[5:])
+    raise BindError(f"unresolvable array {name!r}")
+
+
+def evaluate_summary(summary: RegionSummary, kernel: object,
+                     ) -> list[list[tuple[str, int]]]:
+    """Instantiate a symbolic summary on a live kernel: the concrete
+    per-step ``[(mode, page), ...]`` lists its descriptor should hold.
+    First-use conditions are replayed with real seen-sets."""
+    env = getattr(kernel, "env")
+    shift = int(getattr(env, "_shift"))
+    first_seen: set[object] = set()
+
+    def pages(span: Span, elems: dict[str, object]
+              ) -> Iterator[tuple[str, int]]:
+        arr = _resolve_array(span.array, kernel)
+        base = int(getattr(arr, "base"))
+        w0 = base + _eval_poly(span.lo, kernel, elems)
+        w1 = base + _eval_poly(span.hi, kernel, elems)
+        if w1 <= w0:
+            return
+        for page in range((w0 >> shift), ((w1 - 1) >> shift) + 1):
+            yield (span.mode, page)
+
+    def conds_hold(conds: Conds, elems: dict[str, object],
+                   key_polys: dict[str, Poly]) -> bool:
+        for kind, what, positive in conds:
+            if kind != "first":
+                raise BindError(f"unevaluable condition {kind}({what})")
+            key = _eval_poly(key_polys[what], kernel, elems)
+            hit = (what, key) not in first_seen
+            if hit:
+                first_seen.add((what, key))
+            if hit != positive:
+                return False
+        return True
+
+    def collect_keys(entries: Sequence[Entry]) -> dict[str, Poly]:
+        keys: dict[str, Poly] = {}
+        for e in entries:
+            for kind, what, _pos in e.conds:
+                if kind == "first":
+                    keys.setdefault(what, _parse_first_key(what))
+            if isinstance(e, Scatter):
+                keys.update(collect_keys(e.entries))
+        return keys
+
+    def emit(entries: Sequence[Entry], elems: dict[str, object],
+             out: list[tuple[str, int]],
+             key_polys: dict[str, Poly]) -> None:
+        for e in entries:
+            if isinstance(e, Span):
+                if e.conds and not conds_hold(e.conds, elems, key_polys):
+                    continue
+                out.extend(pages(e, elems))
+            else:
+                if e.conds and not conds_hold(e.conds, elems, key_polys):
+                    continue
+                for k, elem in enumerate(_resolve_seq(e.seq, kernel)):
+                    sub = dict(elems)
+                    _bind_elem(sub, e.seq, k, elem)
+                    emit(e.entries, sub, out, key_polys)
+
+    steps: list[list[tuple[str, int]]] = []
+    all_entries: list[Entry] = [e for t in summary.prologue
+                                for e in t.entries]
+    if summary.body is not None:
+        all_entries.extend(summary.body.entries)
+    key_polys = collect_keys(all_entries)
+
+    if summary.seq is None:
+        for template in summary.prologue:
+            out: list[tuple[str, int]] = []
+            emit(template.entries, {}, out, key_polys)
+            steps.append(out)
+        return steps
+
+    seq = _resolve_seq(summary.seq, kernel)
+    assert summary.body is not None
+    for k, elem in enumerate(seq):
+        elems: dict[str, object] = {}
+        _bind_elem(elems, summary.seq, k, elem, peeled=(k == 0))
+        elems[f"{_POS_PREFIX}{summary.seq}"] = k
+        template = summary.prologue[0] if k == 0 else summary.body
+        out = []
+        emit(template.entries, elems, out, key_polys)
+        if k == 0:
+            # The peeled step resolved every first-use test to True and
+            # populated the caches unconditionally; replay that here so
+            # step 1 sees the right seen-set.
+            for what, key_poly in key_polys.items():
+                first_seen.add((what, _eval_poly(key_poly, kernel,
+                                                 elems)))
+        steps.append(out)
+    return steps
+
+
+def _bind_elem(elems: dict[str, object], seq: str, k: int, elem: object,
+               peeled: bool = False) -> None:
+    tags = ["$e"] if not peeled else ["$e", "$e0"]
+    for tag in tags:
+        base = f"{tag}:{seq}"
+        elems[base] = elem
+        if isinstance(elem, (tuple, list)):
+            for j, part in enumerate(elem):
+                elems[f"{base}.{j}"] = part
+    elems.setdefault(f"{_POS_PREFIX}{seq}", k)
+
+
+def _parse_first_key(rendered: str) -> Poly:
+    """Inverse of ``Poly.render`` for first-use keys (single symbols and
+    simple sums are all real kernels produce)."""
+    p = Poly({})
+    for part in rendered.replace("- ", "+ -").split(" + "):
+        part = part.strip()
+        if not part:
+            continue
+        neg = part.startswith("-")
+        if neg:
+            part = part[1:]
+        if "*" in part:
+            first, rest = part.split("*", 1)
+            try:
+                coeff = Fraction(first)
+                mono = tuple(sorted(rest.split("*")))
+            except ValueError:
+                coeff = Fraction(1)
+                mono = tuple(sorted(part.split("*")))
+        else:
+            try:
+                coeff = Fraction(part)
+                mono = ()
+            except ValueError:
+                coeff = Fraction(1)
+                mono = (part,)
+        if neg:
+            coeff = -coeff
+        p = p + Poly({mono: coeff})
+    return p

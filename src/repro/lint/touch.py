@@ -1,0 +1,491 @@
+"""Engine 4: symbolic verification of RegionKernel touch lists (K-rules).
+
+The lowering pipeline (DESIGN §14) replays protocol faults from a
+kernel's hand-written descriptor instead of running its ``interp`` body;
+a silent divergence between the two would replay the wrong faults and
+corrupt simulation fidelity. This engine abstract-interprets both the
+``interp`` body and the ``__init__`` touch-list construction over the
+affine domain of :mod:`repro.lint.symbolic` and diffs the resulting
+per-step span summaries:
+
+* **K001** — descriptor/code touch mismatch: wrong span, wrong order,
+  wrong mode, or a spurious descriptor entry the code never performs.
+* **K002** — descriptor under-approximation: the code provably touches
+  a span the descriptor omits. This is the dangerous direction — the
+  executor would skip a fault the interpreter takes.
+* **K003** — a worker loop is provably lowerable (sync-free, step
+  shaped, affine accesses) but the module defines no RegionKernel:
+  the ROADMAP's "extend kernel lowering" backlog, machine-found.
+* **K004** — the analysis left the affine domain (non-affine subscript,
+  unstable loop-carried state, unsupported construct): an honest
+  "cannot verify", naming the offending expression.
+
+Soundness direction (DESIGN §16): a kernel with no K002 finding has a
+descriptor that over-approximates its code's touches per step — every
+fault the interpreter would take, the executor replays. K001 tightens
+that to exact per-step equality of the normalized summaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from typing import Iterable, Sequence
+
+from .appcheck import _ACCESS_METHODS, _ENV_METHODS, Reporter
+from .symbolic import (Entry, RegionSummary, Scatter, Span, StepTemplate,
+                       SymbolicError, ctor_param_canon, summarize_ctor,
+                       summarize_interp)
+
+#: Env methods that synchronize or change phase: any call disqualifies
+#: a K003 candidate region (same set stage 1 rejects).
+_SYNC_METHODS = frozenset(_ENV_METHODS) - frozenset(_ACCESS_METHODS) \
+    - frozenset({"compute", "arr"}) | frozenset({"run_region"})
+
+#: Cap on per-kernel mismatch diagnostics: the first divergence is the
+#: actionable one; a long tail of knock-on diffs is noise.
+_MAX_ENTRY_DIAGS = 3
+
+
+# ---------------------------------------------------------------------------
+# Kernel-class discovery and summarization
+# ---------------------------------------------------------------------------
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def is_region_kernel_class(cls: ast.ClassDef) -> bool:
+    return "RegionKernel" in _base_names(cls)
+
+
+def kernel_classes(tree: ast.Module) -> list[ast.ClassDef]:
+    return [node for node in tree.body
+            if isinstance(node, ast.ClassDef)
+            and is_region_kernel_class(node)]
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def summarize_kernel_class(cls: ast.ClassDef, tree: ast.Module,
+                           ) -> tuple[RegionSummary, RegionSummary]:
+    """Both summaries of one kernel class: ``(code, descriptor)``.
+
+    ``code`` is inferred from ``interp`` (the ground truth); ``desc``
+    from the ``__init__`` touch-list construction. Raises
+    :class:`SymbolicError` when either body leaves the affine domain.
+    """
+    ctor = _method(cls, "__init__")
+    interp = _method(cls, "interp")
+    if ctor is None or interp is None:
+        raise SymbolicError(
+            f"kernel class {cls.name} lacks "
+            f"{'__init__' if ctor is None else 'interp'}", cls)
+    canon = ctor_param_canon(ctor)
+    code = summarize_interp(interp, tree, canon)
+    desc = summarize_ctor(ctor, tree, canon)
+    return code, desc
+
+
+def infer_code_summary(cls: ast.ClassDef,
+                       tree: ast.Module) -> RegionSummary:
+    """The interp-side summary alone (what ``lower-gen`` scaffolds
+    descriptors from)."""
+    ctor = _method(cls, "__init__")
+    interp = _method(cls, "interp")
+    if interp is None:
+        raise SymbolicError(f"kernel class {cls.name} lacks interp", cls)
+    canon = ctor_param_canon(ctor) if ctor is not None else {}
+    return summarize_interp(interp, tree, canon)
+
+
+# ---------------------------------------------------------------------------
+# Summary normalization and comparison
+# ---------------------------------------------------------------------------
+
+
+def normalize_entries(entries: Iterable[Entry]) -> tuple[Entry, ...]:
+    """Coalesce adjacent same-mode, same-array, same-condition spans
+    whose word ranges are provably contiguous. The descriptor idiom
+    builds one merged span where the interp body takes several abutting
+    block reads (SOR's three-row window); page-wise the two are
+    identical, so both sides normalize to the merged form."""
+    out: list[Entry] = []
+    for entry in entries:
+        if isinstance(entry, Scatter):
+            entry = Scatter(entry.seq, normalize_entries(entry.entries),
+                            entry.conds)
+        prev = out[-1] if out else None
+        if (isinstance(entry, Span) and isinstance(prev, Span)
+                and prev.mode == entry.mode
+                and prev.array == entry.array
+                and prev.conds == entry.conds
+                and prev.hi == entry.lo):
+            out[-1] = Span(prev.mode, prev.array, prev.lo, entry.hi,
+                           prev.conds)
+        else:
+            out.append(entry)
+    return tuple(out)
+
+
+def _normalize(template: StepTemplate) -> tuple[Entry, ...]:
+    return normalize_entries(template.entries)
+
+
+def _span_key(entry: Entry) -> tuple[object, ...]:
+    """Identity of an entry ignoring its mode (wrong-mode detection)."""
+    if isinstance(entry, Span):
+        return ("span", entry.array, entry.lo.key(), entry.hi.key(),
+                entry.conds)
+    return ("scatter", entry.seq,
+            tuple(_span_key(e) + (_mode_of(e),) for e in entry.entries),
+            entry.conds)
+
+
+def _mode_of(entry: Entry) -> str:
+    return entry.mode if isinstance(entry, Span) else "*"
+
+
+def _render(entry: Entry) -> str:
+    return entry.render()
+
+
+class Mismatch:
+    """One comparison finding, pre-classified as K001 or K002."""
+
+    __slots__ = ("rule", "detail")
+
+    def __init__(self, rule: str, detail: str) -> None:
+        self.rule = rule
+        self.detail = detail
+
+
+def _compare_templates(label: str, code: StepTemplate,
+                       desc: StepTemplate) -> list[Mismatch]:
+    cn = _normalize(code)
+    dn = _normalize(desc)
+    if cn == dn:
+        return []
+    out: list[Mismatch] = []
+    if Counter(cn) == Counter(dn):
+        want = "; ".join(_render(e) for e in cn)
+        out.append(Mismatch(
+            "K001", f"{label}: descriptor touch order differs from the "
+                    f"interp body (code order: {want})"))
+        return out
+    code_extra = Counter(cn) - Counter(dn)
+    desc_extra = Counter(dn) - Counter(cn)
+    desc_by_span = {_span_key(e): e for e in dn}
+    for entry in list(code_extra.elements())[:_MAX_ENTRY_DIAGS]:
+        twin = desc_by_span.get(_span_key(entry))
+        if twin is not None and twin not in cn:
+            out.append(Mismatch(
+                "K001", f"{label}: wrong mode — code performs "
+                        f"{_render(entry)}, descriptor lists "
+                        f"{_render(twin)}"))
+        else:
+            out.append(Mismatch(
+                "K002", f"{label}: code touches {_render(entry)} but "
+                        f"the descriptor omits it (the executor would "
+                        f"skip this fault)"))
+    matched_modes = {_span_key(e) for e in cn}
+    for entry in list(desc_extra.elements())[:_MAX_ENTRY_DIAGS]:
+        if _span_key(entry) in matched_modes:
+            continue  # already reported as wrong mode from the code side
+        out.append(Mismatch(
+            "K001", f"{label}: descriptor lists {_render(entry)} but "
+                    f"the interp body never touches it"))
+    if not out:
+        out.append(Mismatch(
+            "K001", f"{label}: descriptor diverges from the interp "
+                    f"body's touch summary"))
+    return out
+
+
+def compare_summaries(code: RegionSummary,
+                      desc: RegionSummary) -> list[Mismatch]:
+    """Diff the interp-derived summary against the descriptor-derived
+    one; empty means the descriptor provably mirrors the code."""
+    if code.seq != desc.seq or len(code.prologue) != len(desc.prologue) \
+            or (code.body is None) != (desc.body is None):
+        c = code.render().replace("\n", " | ")
+        d = desc.render().replace("\n", " | ")
+        return [Mismatch(
+            "K001", f"step structure differs: code is [{c}], "
+                    f"descriptor is [{d}]")]
+    out: list[Mismatch] = []
+    for k, (ct, dt) in enumerate(zip(code.prologue, desc.prologue)):
+        out.extend(_compare_templates(f"step {k}", ct, dt))
+    if code.body is not None and desc.body is not None:
+        out.extend(_compare_templates(
+            f"steady step over {code.seq}", code.body, desc.body))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# K001/K002/K004: verify every kernel class in the file
+# ---------------------------------------------------------------------------
+
+
+def _touches_line(ctor: ast.FunctionDef | None,
+                  cls: ast.ClassDef) -> tuple[int, int]:
+    if ctor is not None:
+        for node in ast.walk(ctor):
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Attribute) \
+                            and t.attr == "touches":
+                        return node.lineno, node.col_offset
+    return cls.lineno, cls.col_offset
+
+
+def _check_kernels(tree: ast.Module, report: Reporter) -> None:
+    for cls in kernel_classes(tree):
+        ctor = _method(cls, "__init__")
+        line, col = _touches_line(ctor, cls)
+        try:
+            code, desc = summarize_kernel_class(cls, tree)
+        except SymbolicError as exc:
+            at = (exc.line, exc.col) if exc.line else (cls.lineno,
+                                                      cls.col_offset)
+            report("K004", at[0], at[1],
+                   f"cannot verify {cls.name}: {exc.why}")
+            continue
+        for mm in compare_summaries(code, desc):
+            report(mm.rule, line, col, f"{cls.name}: {mm.detail}")
+
+
+# ---------------------------------------------------------------------------
+# K003: provably lowerable worker loops with no RegionKernel in sight
+# ---------------------------------------------------------------------------
+
+_AFFINE_NODES = (ast.Name, ast.Constant, ast.BinOp, ast.UnaryOp,
+                 ast.Add, ast.Sub, ast.Mult, ast.USub, ast.UAdd,
+                 ast.Attribute, ast.Load)
+
+
+def _affine_looking(expr: ast.expr) -> bool:
+    """A light syntactic check: names, constants, and +/-/* over them.
+    (The full affine proof needs the kernel's parameter binding, which
+    does not exist yet for an unlowered worker.)"""
+    for node in ast.walk(expr):
+        if not isinstance(node, _AFFINE_NODES):
+            return False
+    return True
+
+
+class _WorkerScan:
+    """Per-function state for K003 candidate detection."""
+
+    def __init__(self, func: ast.FunctionDef) -> None:
+        self.func = func
+        self.env_names = {"env"}
+        self.aliases: dict[str, str] = {}
+        #: Names holding values read from shared memory (data-dependent
+        #: indexing through these disqualifies a candidate).
+        self.loaded: set[str] = set()
+        self._prepass()
+
+    def _prepass(self) -> None:
+        assigns: list[tuple[str, ast.expr]] = []
+        for node in ast.walk(self.func):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                v = node.value
+                if isinstance(v, ast.Attribute) \
+                        and isinstance(v.value, ast.Name) \
+                        and v.value.id in self.env_names \
+                        and v.attr in _ENV_METHODS:
+                    self.aliases[target.id] = v.attr
+                    continue
+                assigns.append((target.id, v))
+                if self._reads_shared(v):
+                    self.loaded.add(target.id)
+        # Transitive closure: a name computed from a loaded name is
+        # itself data-dependent (count = int(meta[0]) after meta was
+        # get_block'd must disqualify indexing through count).
+        for _ in range(len(assigns)):
+            grew = False
+            for name, v in assigns:
+                if name in self.loaded:
+                    continue
+                if any(isinstance(n, ast.Name) and n.id in self.loaded
+                       for n in ast.walk(v)):
+                    self.loaded.add(name)
+                    grew = True
+            if not grew:
+                break
+
+    def _reads_shared(self, expr: ast.expr) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) \
+                    and self.env_method(node) in ("get", "get_block"):
+                return True
+        return False
+
+    def env_method(self, call: ast.Call) -> str | None:
+        f = call.func
+        if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name) \
+                and f.value.id in self.env_names:
+            return f.attr if f.attr in _ENV_METHODS else None
+        if isinstance(f, ast.Name):
+            return self.aliases.get(f.id)
+        return None
+
+    # -- candidate tests ---------------------------------------------------
+
+    def _passes_env(self, call: ast.Call) -> bool:
+        """A non-env call that receives env could hide synchronization."""
+        if self.env_method(call) is not None:
+            return False
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if isinstance(arg, ast.Name) and arg.id in self.env_names:
+                return True
+        return False
+
+    def region_blockers(self, stmts: Sequence[ast.stmt]) -> str | None:
+        """Why this statement run cannot be a sync-free region (None if
+        it can)."""
+        accesses = 0
+        writes = 0
+        affine = True
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.YieldFrom):
+                    return "delegates with yield from"
+                if not isinstance(node, ast.Call):
+                    continue
+                method = self.env_method(node)
+                if method in _SYNC_METHODS:
+                    return f"calls env.{method}()"
+                if self._passes_env(node):
+                    return "passes env to a helper"
+                if method in _ACCESS_METHODS:
+                    accesses += 1
+                    kind, slots = _ACCESS_METHODS[method]
+                    if kind == "write":
+                        writes += 1
+                    for slot in slots:
+                        if slot >= len(node.args):
+                            continue
+                        idx = node.args[slot]
+                        if not _affine_looking(idx):
+                            affine = False
+                        else:
+                            for sub in ast.walk(idx):
+                                if isinstance(sub, ast.Name) \
+                                        and sub.id in self.loaded:
+                                    affine = False
+        if accesses == 0:
+            return "no shared accesses"
+        if writes == 0:
+            return "no shared writes"
+        if not affine:
+            return "non-affine or data-dependent indexing"
+        return None
+
+    def candidates(self) -> list[tuple[int, int, str]]:
+        """(line, col, description) of provably lowerable regions."""
+        found: list[tuple[int, int, str]] = []
+        for node in ast.walk(self.func):
+            if not isinstance(node, ast.For):
+                continue
+            # Shape (a): a step loop — each iteration does affine
+            # accesses and ends at a plain yield (a super-step).
+            body = node.body
+            if self._is_step_loop(body) \
+                    and self.region_blockers(body) is None:
+                found.append((node.lineno, node.col_offset,
+                              "per-iteration super-step loop"))
+                continue
+            # Shape (b): a straight-line phase inside an iteration
+            # loop — a conditional block of affine accesses ending in
+            # one plain yield (a single-step region).
+            for stmt in body:
+                if isinstance(stmt, ast.If) \
+                        and self._is_single_step(stmt.body) \
+                        and not stmt.orelse \
+                        and self.region_blockers(stmt.body) is None:
+                    found.append((stmt.lineno, stmt.col_offset,
+                                  "single-step phase block"))
+        return found
+
+    def _is_step_loop(self, body: Sequence[ast.stmt]) -> bool:
+        """Every iteration ends at exactly one plain top-level yield."""
+        if not body:
+            return False
+        yields = [s for s in body
+                  if isinstance(s, ast.Expr)
+                  and isinstance(s.value, ast.Yield)]
+        return len(yields) == 1 and body[-1] is yields[0]
+
+    def _is_single_step(self, body: Sequence[ast.stmt]) -> bool:
+        if len(body) < 2:
+            return False
+        if not self._is_step_loop(body):
+            return False
+        # Require >= 2 accesses with >= 1 write for the single-step
+        # shape, so trivial one-access blocks don't nag.
+        accesses = 0
+        writes = 0
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    method = self.env_method(node)
+                    if method in _ACCESS_METHODS:
+                        accesses += 1
+                        if _ACCESS_METHODS[method][0] == "write":
+                            writes += 1
+        return accesses >= 2 and writes >= 1
+
+
+def _check_unlowered(tree: ast.Module, report: Reporter) -> None:
+    # Per-file gate: a module that already defines RegionKernels has
+    # made its lowering decisions; K003 only points at untouched files.
+    if kernel_classes(tree):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        args = node.args
+        every = args.posonlyargs + args.args + args.kwonlyargs
+        if not any(a.arg == "env" for a in every):
+            continue
+        if not any(isinstance(n, (ast.Yield, ast.YieldFrom))
+                   for n in ast.walk(node)):
+            continue
+        scan = _WorkerScan(node)
+        for line, col, what in scan.candidates():
+            report("K003", line, col,
+                   f"{what} in {node.name}() is provably lowerable "
+                   f"(sync-free, step-shaped, affine accesses) but "
+                   f"this module defines no RegionKernel — see the "
+                   f"ROADMAP item on extending kernel lowering")
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def check_touches(tree: ast.AST, report: Reporter) -> None:
+    """Run the K-rules over one parsed module."""
+    if not isinstance(tree, ast.Module):
+        return
+    _check_kernels(tree, report)
+    _check_unlowered(tree, report)

@@ -39,8 +39,8 @@ from ..errors import LoweringError
 # The lint package's kernel-analysis building blocks (PR 5): the
 # statement CFG and the source-ordered call scanner double as the
 # region analyzer's front end.
-from ..lint.appcheck import _ACCESS_METHODS, _ENV_METHODS, _stmt_calls
-from ..lint.cfg import build_cfg
+from ..lint.appcheck import _ACCESS_METHODS, _ENV_METHODS
+from ..lint.cfg import build_cfg, node_calls, node_exprs, walk_no_defs
 
 #: Env methods that synchronize, block, or change phase: any call makes
 #: the region non-lowerable. (``compute`` and ``arr`` are pure; the
@@ -129,14 +129,19 @@ def analyze_region(func: ast.FunctionDef,
     for node in cfg.nodes:
         if node not in reachable or node.stmt is None:
             continue
-        for expr in ast.walk(node.stmt):
-            if isinstance(expr, ast.YieldFrom):
-                raise _fail(name, expr,
-                            "``yield from`` delegates to a sub-generator "
-                            "(sync); regions must end at sync points")
-            if isinstance(expr, ast.Yield):
-                yields += 1
-        for call in _stmt_calls(node.stmt):
+        # Per-node expressions only: each yield is counted exactly once
+        # (at its own statement node), never again at an enclosing
+        # loop or ``with`` header.
+        for root in node_exprs(node):
+            for expr in walk_no_defs(root):
+                if isinstance(expr, ast.YieldFrom):
+                    raise _fail(name, expr,
+                                "``yield from`` delegates to a "
+                                "sub-generator (sync); regions must "
+                                "end at sync points")
+                if isinstance(expr, ast.Yield):
+                    yields += 1
+        for call in node_calls(node):
             method = env_method(call)
             if method is None:
                 continue

@@ -59,9 +59,16 @@ def region_instruction(kernel, env):
 
 
 class LoweredRun:
-    """One batched execution of a :class:`~repro.lower.RegionKernel`."""
+    """One batched execution of a :class:`~repro.lower.RegionKernel`.
 
-    __slots__ = ("kernel", "env", "_sp", "_i", "_batches", "_cont_cb")
+    Instances are reusable: ``WorkerEnv.run_region`` caches one per
+    (env, kernel) and calls :meth:`reset` on re-entry, so a lockstep
+    schedule that enters the same region thousands of times pays the
+    constructor (and the bound-method allocation) exactly once.
+    """
+
+    __slots__ = ("kernel", "env", "_sp", "_i", "_batches", "_cont_cb",
+                 "_valid")
 
     def __init__(self, kernel, env) -> None:
         self.kernel = kernel
@@ -74,6 +81,19 @@ class LoweredRun:
         # One stable bound method per run: continuations are pushed
         # repeatedly and must not allocate a fresh closure each time.
         self._cont_cb = self._continue
+        #: Pages already validated this ``_run`` call, mapped to the
+        #: strongest permission level checked. Consecutive steps of one
+        #: region overlap heavily (a SOR page holds eight rows), and a
+        #: warm batch freezes the page table by construction, so a page
+        #: validated once stays valid until an event or a fault runs.
+        self._valid: dict = {}
+
+    def reset(self) -> None:
+        """Rearm for the next execution of the same region (the cached
+        re-entry path — equivalent to constructing a fresh run)."""
+        self._sp = None
+        self._i = 0
+        self._batches = 0
 
     # -- SimProcess hook ---------------------------------------------------
 
@@ -155,6 +175,16 @@ class LoweredRun:
         i = self._i
         lo = i     # first uncommitted step (materialize floor)
         pend = i   # first step whose ingest is still deferred
+        # Validated-page cache, scoped to this _run call: cleared on
+        # entry (a continuation means foreign events ran and may have
+        # downgraded permissions) and after every fault replay (the
+        # protocol handlers mutate page-table state). Between those
+        # points nothing else can run, so a page checked once at a
+        # given need stays good — repeat touches skip the page-table
+        # row lookup entirely.
+        valid = self._valid
+        valid.clear()
+        vget = valid.get
         while True:
             # -- warm inner loop: consecutive steps whose touch lists
             # are fully satisfied charge with Processor.run_compute's
@@ -175,9 +205,11 @@ class LoweredRun:
             cold = False
             while True:
                 for need, page in touches[i]:
-                    if rows[page][lidx] < need:
-                        cold = True
-                        break
+                    if vget(page, 0) < need:
+                        if rows[page][lidx] < need:
+                            cold = True
+                            break
+                        valid[page] = need
                 if cold:
                     break
                 # inlined run_compute (cf. cluster/machine.py): cpu,
@@ -246,6 +278,7 @@ class LoweredRun:
                         write_fault(proc, st, page)
                     else:
                         read_fault(proc, st, page)
+            valid.clear()  # fault handlers mutate page-table state
             kernel.ingest(i)
             run_compute(cpu, mem)
             i += 1

@@ -51,6 +51,16 @@ class RegionDescriptor:
     mem_bytes: float
     pages_read: tuple[int, ...]
     pages_written: tuple[int, ...]
+    #: Serialized per-step first-touch lists, ``((need, page), ...)``
+    #: per step with ``need`` as the integer Perm value — hashable and
+    #: JSON-friendly, parsed back with :meth:`to_touches`.
+    touches: tuple[tuple[tuple[int, int], ...], ...] = ()
+
+    def to_touches(self) -> list[list[tuple[Perm, int]]]:
+        """The exact per-step ``(need, page)`` lists the executor
+        replays (the inverse of :meth:`RegionKernel.describe`)."""
+        return [[(Perm(need), page) for need, page in step]
+                for step in self.touches]
 
 
 class RegionKernel:
@@ -174,7 +184,9 @@ class RegionKernel:
             cpu_us=cost.cpu_us if cost is not None else 0.0,
             mem_bytes=cost.mem_bytes if cost is not None else 0.0,
             pages_read=tuple(sorted(reads)),
-            pages_written=tuple(sorted(writes)))
+            pages_written=tuple(sorted(writes)),
+            touches=tuple(tuple((int(need), page) for need, page in step)
+                          for step in self.touches))
 
     # --- span helpers for subclasses --------------------------------------
 

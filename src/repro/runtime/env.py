@@ -28,7 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster.machine import Processor
-from ..lower.exec import region_instruction
+from ..lower.exec import LoweredRun
 from ..sim.process import Compute
 from .api import SharedArray
 
@@ -92,6 +92,13 @@ class WorkerEnv:
         #: classes currently in the interpreting (degenerate-schedule)
         #: regime — the lowered steady state never touches it.
         self._region_probe: dict[type, int] = {}
+        #: Cached region instructions, one per (env, kernel) pair: the
+        #: single-element tuple ``run_region`` hands back as an
+        #: iterator. Workers construct each kernel once and enter its
+        #: region every iteration, so caching the LoweredRun (and its
+        #: continuation bound method) turns per-entry dispatch into a
+        #: dict hit plus a ``reset()``.
+        self._region_runs: dict = {}
         #: Generation snapshots, held in one-element lists so the
         #: closure-compiled warm paths below and the cold-path refill
         #: helpers share one mutable cell.
@@ -472,14 +479,31 @@ class WorkerEnv:
         if self._lowering:
             cls = type(kernel)
             if cls._adapt_ratio >= cls._adapt_threshold:
-                return region_instruction(kernel, self)
+                return self._region_instruction(kernel)
             left = self._region_probe.get(cls, 0)
             if left <= 0:
                 # Periodic probe: run batched once to re-measure.
                 self._region_probe[cls] = cls._adapt_probe - 1
-                return region_instruction(kernel, self)
+                return self._region_instruction(kernel)
             self._region_probe[cls] = left - 1
         return kernel.interp(self)
+
+    def _region_instruction(self, kernel):
+        """One batched region instruction, as an iterator — the cached
+        equivalent of ``repro.lower.exec.region_instruction``. The
+        LoweredRun per (env, kernel) persists across executions; a
+        tuple iterator over it is cheaper than a generator frame, and
+        ``reset()`` rearms the cursor state the previous execution
+        left behind. Safe because a worker is sequential: the prior
+        execution of this kernel's region finished (its commit pushed
+        the worker's resume) before the worker could re-enter here.
+        """
+        ri = self._region_runs.get(kernel)
+        if ri is None:
+            ri = self._region_runs[kernel] = (LoweredRun(kernel, self),)
+        else:
+            ri[0].reset()
+        return iter(ri)
 
     # --- synchronization --------------------------------------------------------------
 

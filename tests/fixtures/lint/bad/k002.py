@@ -1,0 +1,22 @@
+"""K002: the descriptor omits the source-span read the interp body
+provably performs — the dangerous direction, since the executor would
+skip the read fault the interpreter takes."""
+from repro.lower.regions import WRITE, RegionKernel
+
+
+class Underapprox(RegionKernel):
+    def __init__(self, env, a, b, n):
+        super().__init__(env)
+        self._a = a
+        self._b = b
+        self._n = n
+        self.n = 1
+        self.cost = env.compute(1.0, 1.0)
+        if not self.lowerable or self.n == 0:
+            return
+        self.touches = [[(WRITE, p) for p in self.span_pages(b, 0, n)]]
+
+    def interp(self, env):
+        vals = env.get_block(self._a, 0, self._n)
+        env.set_block(self._b, 0, vals + 1.0)
+        yield self.cost

@@ -1,0 +1,14 @@
+"""K003: a sync-free, step-shaped worker loop with affine accesses and
+no RegionKernel anywhere in the module — provably lowerable, pointing
+at the kernel-lowering backlog."""
+
+
+def worker(env, params):
+    data = env.arr("data")
+    yield from env.barrier()
+    lo = env.rank * 8
+    for i in range(8):
+        vals = env.get_block(data, lo + i * 4, lo + i * 4 + 4)
+        env.set_block(data, lo + i * 4, vals + 1.0)
+        yield env.compute(1.0, 1.0)
+    yield from env.barrier()

@@ -1,0 +1,20 @@
+"""K004: the interp body indexes through a modulo expression — outside
+the affine domain, so the descriptor cannot be verified either way and
+the analyzer must say so honestly."""
+from repro.lower.regions import READ, RegionKernel
+
+
+class Wrapped(RegionKernel):
+    def __init__(self, env, a, n):
+        super().__init__(env)
+        self._a = a
+        self._n = n
+        self.n = 1
+        self.cost = env.compute(1.0, 1.0)
+        if not self.lowerable or self.n == 0:
+            return
+        self.touches = [[(READ, p) for p in self.span_pages(a, 0, n)]]
+
+    def interp(self, env):
+        env.get(self._a, self._n % 3)
+        yield self.cost

@@ -1,0 +1,23 @@
+"""K002 good twin: every span the interp body touches appears in the
+descriptor (the read is listed, not omitted)."""
+from repro.lower.regions import READ, WRITE, RegionKernel
+
+
+class Covered(RegionKernel):
+    def __init__(self, env, a, b, n):
+        super().__init__(env)
+        self._a = a
+        self._b = b
+        self._n = n
+        self.n = 1
+        self.cost = env.compute(1.0, 1.0)
+        if not self.lowerable or self.n == 0:
+            return
+        step = [(READ, p) for p in self.span_pages(a, 0, n)]
+        step += [(WRITE, p) for p in self.span_pages(b, 0, n)]
+        self.touches = [step]
+
+    def interp(self, env):
+        vals = env.get_block(self._a, 0, self._n)
+        env.set_block(self._b, 0, vals + 1.0)
+        yield self.cost

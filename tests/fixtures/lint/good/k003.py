@@ -1,0 +1,40 @@
+"""K003 good twin: the same loop, lowered — the module defines a
+verified RegionKernel and the worker dispatches through run_region, so
+the backlog pointer stays quiet."""
+from repro.lower.regions import READ, WRITE, RegionKernel
+
+
+class Stride(RegionKernel):
+    def __init__(self, env, data, lo, steps):
+        super().__init__(env)
+        self._data = data
+        self._lo = lo
+        self._steps = steps
+        self.n = len(steps)
+        self.cost = env.compute(1.0, 1.0)
+        if not self.lowerable or self.n == 0:
+            return
+        touches = []
+        for i in steps:
+            step = [(READ, p) for p in self.span_pages(
+                data, lo + i * 4, lo + i * 4 + 4)]
+            step += [(WRITE, p) for p in self.span_pages(
+                data, lo + i * 4, lo + i * 4 + 4)]
+            touches.append(step)
+        self.touches = touches
+
+    def interp(self, env):
+        data, lo = self._data, self._lo
+        for i in self._steps:
+            vals = env.get_block(data, lo + i * 4, lo + i * 4 + 4)
+            env.set_block(data, lo + i * 4, vals + 1.0)
+            yield self.cost
+
+
+def worker(env, params):
+    data = env.arr("data")
+    yield from env.barrier()
+    lo = env.rank * 8
+    kernel = Stride(env, data, lo, range(8))
+    yield from env.run_region(kernel)
+    yield from env.barrier()

@@ -1,0 +1,20 @@
+"""K004 good twin: the same single-word probe with an affine index —
+fully inside the domain, verified without complaint."""
+from repro.lower.regions import READ, RegionKernel
+
+
+class Probed(RegionKernel):
+    def __init__(self, env, a, n):
+        super().__init__(env)
+        self._a = a
+        self._n = n
+        self.n = 1
+        self.cost = env.compute(1.0, 1.0)
+        if not self.lowerable or self.n == 0:
+            return
+        self.touches = [[(READ, p) for p in self.span_pages(
+            a, n - 1, n)]]
+
+    def interp(self, env):
+        env.get(self._a, self._n - 1)
+        yield self.cost

@@ -186,10 +186,10 @@ class TestTSPPieces:
 
 class TestEm3dStencil:
     def test_gather_weights(self):
-        from repro.apps.em3d import Em3d, _OFFSETS, _WEIGHTS
+        from repro.apps.em3d import _gather, _OFFSETS, _WEIGHTS
         block = np.zeros(12)
         block[2:10] = np.arange(8.0)  # nodes 0..7 with 2-halo
-        out = Em3d._gather(None, 0, 8, 8, block)
+        out = _gather(block, 8)
         for i in range(3, 6):
             expected = sum(w * block[2 + i + off]
                            for off, w in zip(_OFFSETS, _WEIGHTS))

@@ -15,7 +15,7 @@ import textwrap
 import pytest
 
 from repro.errors import LoweringError
-from repro.lint.cfg import build_cfg
+from repro.lint.cfg import build_cfg, node_calls
 from repro.lower import analyze_region
 
 
@@ -234,3 +234,108 @@ def f():
 ''')
     seen = _reachable(cfg)
     assert _node(cfg, "dead") not in seen
+
+
+# --- with-statement item nodes -----------------------------------------------
+
+WITH_TWO = '''
+def f():
+    before = 1
+    with open_a() as a, open_b() as b:
+        body = 1
+    after = 1
+'''
+
+
+def test_with_items_get_one_node_each_in_entry_order():
+    cfg = _cfg(WITH_TWO)
+    items = [n for n in cfg.nodes if n.item is not None]
+    assert [ast.unparse(n.item.context_expr) for n in items] == \
+        ["open_a()", "open_b()"]
+    first, second = items
+    # Managers chain left to right: before -> open_a -> open_b -> body.
+    assert second in first.succs
+    assert first in _node(cfg, "before").succs
+    assert _node(cfg, "body = 1").preds == [second]
+    # Both item nodes share the with statement itself.
+    assert first.stmt is second.stmt
+
+
+def test_with_item_nodes_attribute_calls_exactly_once():
+    cfg = _cfg(WITH_TWO)
+    counts = {}
+    for n in cfg.nodes:
+        for call in node_calls(n):
+            key = ast.unparse(call)
+            counts[key] = counts.get(key, 0) + 1
+    assert counts == {"open_a()": 1, "open_b()": 1}
+
+
+def test_handler_node_owns_only_its_exception_type():
+    """An except-handler node evaluates its exception type — the
+    handler body's calls belong to the body statements' own nodes."""
+    cfg = _cfg('''
+def f():
+    try:
+        risky()
+    except pick_error():
+        recover()
+''')
+    per_node = [sorted(ast.unparse(c) for c in node_calls(n))
+                for n in cfg.nodes if node_calls(n)]
+    assert sorted(per_node) == [["pick_error()"], ["recover()"],
+                                ["risky()"]]
+
+
+def test_with_region_yields_counted_exactly_once():
+    """The stage-1 proof attributes each yield to exactly one node —
+    no double count at loop or ``with`` headers."""
+    func = ast.parse(textwrap.dedent('''
+def interp(self, env):
+    for r in self._rows:
+        with self._guard():
+            row = env.get_block(self._src, r, r + 8)
+            env.set_block(self._dst, r, row)
+        yield self.cost
+''')).body[0]
+    report = analyze_region(func)
+    assert report.yields == 1
+    assert report.reads == ("self._src",)
+    assert report.writes == ("self._dst",)
+
+
+# --- comprehension scopes in the taint analysis ------------------------------
+
+def _lint(source):
+    from repro.lint import lint_source
+    active, _ = lint_source(textwrap.dedent(source), "x.py")
+    return {d.rule for d in active}
+
+
+def test_comprehension_target_shadows_outer_taint():
+    """A comprehension-local loop variable is its own binding: reusing
+    the name of a rank-tainted outer variable must not make the
+    comprehension's value rank-dependent (no phantom A003)."""
+    rules = _lint('''
+def worker(env, params):
+    data = env.arr("data")
+    for i in range(env.rank):
+        env.set(data, i, 0.0)
+    vals = [i * 2 for i in range(3)]
+    if vals[0] < 1:
+        yield from env.barrier()
+''')
+    assert "A003" not in rules
+
+
+def test_comprehension_over_tainted_iterable_still_diverges():
+    """The scope fix must not lose real taint: iterating a
+    rank-dependent range taints the comprehension's result."""
+    rules = _lint('''
+def worker(env, params):
+    data = env.arr("data")
+    vals = [j * 2 for j in range(env.rank)]
+    if len(vals) > 1:
+        yield from env.barrier()
+''')
+    assert "A003" in rules

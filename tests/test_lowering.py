@@ -65,7 +65,8 @@ def _run(app_name, cfg, protocol):
 # ---------------------------------------------------------------------------
 
 @pytest.mark.parametrize("protocol", ["2L", "2LS", "1LD", "1L"])
-@pytest.mark.parametrize("app_name", ["SOR", "Water", "LU", "Gauss"])
+@pytest.mark.parametrize("app_name", ["SOR", "Water", "LU", "Gauss",
+                                      "Em3d", "Ilink"])
 @pytest.mark.parametrize("placement", ["solo", "clustered"])
 def test_lowered_matches_interpreted(app_name, protocol, placement,
                                      monkeypatch):
@@ -195,8 +196,9 @@ def test_touch_lists_mirror_the_window_slide():
         assert len([p for need, p in step if need is READ]) <= len(reads0)
 
 
-class _Adaptive(RegionKernel):
-    """Fresh class-level adaptive state for policy tests."""
+class _Adaptive(RegionKernel):  # cashmere: ignore[K004]
+    """Fresh class-level adaptive state for policy tests (no interp
+    body, so the touch verifier is told to look away)."""
 
     def __init__(self):  # no env: policy state only
         self.lowerable = False
@@ -294,10 +296,13 @@ def interp(self, env):
 def test_app_kernels_prove_lowerable():
     """Every shipped kernel class passes stage 1 (and the proof is
     cached on the class by RegionKernel.__init__)."""
+    from repro.apps.em3d import _Em3dPhase
     from repro.apps.gauss import _GaussElim
+    from repro.apps.ilink import _IlinkSlave
     from repro.apps.lu import _LUInterior
     from repro.apps.water import _WaterIntegrate
-    for cls in (_SorSweep, _WaterIntegrate, _LUInterior, _GaussElim):
+    for cls in (_SorSweep, _WaterIntegrate, _LUInterior, _GaussElim,
+                _Em3dPhase, _IlinkSlave):
         report = check_kernel_class(cls)
         assert report.yields >= 1
         assert report.reads and report.writes

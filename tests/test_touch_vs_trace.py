@@ -1,0 +1,259 @@
+"""Cross-validation of the symbolic touch inference (lint engine 4)
+against the live lowering pipeline.
+
+Three closing-the-loop checks, per ISSUE:
+
+* **static vs. concrete** — the access summary inferred from each
+  kernel's ``interp`` source, instantiated on a live kernel with
+  :func:`repro.lint.symbolic.evaluate_summary`, must equal the exact
+  per-step ``(need, page)`` lists the kernel built for the executor
+  (and so must the summary inferred from the descriptor construction);
+* **dynamic fault traces** — every protocol fault the batched executor
+  replays while driving a region must land on a page the inferred
+  summary predicted, at the predicted mode;
+* **seeded mutations** — corrupting the committed SOR descriptor (span
+  shrink, order swap, wrong mode) must be caught by the K-rules, in
+  the right direction (K002 for the dangerous under-approximation).
+
+Plus the descriptor round-trip: ``describe()`` serializes the touch
+lists and ``to_touches()`` parses them back bit-for-bit.
+"""
+
+import ast
+import inspect
+
+import pytest
+
+from repro import MachineConfig, run_app
+from repro.apps import make_app
+from repro.lint import lint_source
+from repro.lint.symbolic import evaluate_summary
+from repro.lint.touch import kernel_classes, summarize_kernel_class
+from repro.lower import WRITE
+from repro.lower.exec import LoweredRun
+from repro.protocol.cashmere2l import Cashmere2L
+from repro.runtime.env import WorkerEnv
+
+SOLO = MachineConfig(nodes=1, procs_per_node=1, page_bytes=512)
+SMALL = MachineConfig(nodes=2, procs_per_node=2, page_bytes=512)
+
+#: Every app shipping RegionKernels (SOR/Water/LU/Gauss plus the two
+#: ported in this PR).
+APPS = ["SOR", "Water", "LU", "Gauss", "Em3d", "Ilink"]
+
+
+def _capture(app_name, cfg=SOLO, protocol="2L"):
+    """Run an app lowered and keep every distinct kernel instance that
+    entered ``run_region`` with a populated touch list."""
+    app = make_app(app_name)
+    captured = {}
+    orig = WorkerEnv.run_region
+
+    def spy(self, kernel):
+        if kernel.lowerable and kernel.n > 0 and kernel.touches:
+            captured.setdefault(id(kernel), kernel)
+        return orig(self, kernel)
+
+    WorkerEnv.run_region = spy
+    try:
+        run_app(app, app.small_params(), cfg, protocol)
+    finally:
+        WorkerEnv.run_region = orig
+    assert captured, f"{app_name} entered no lowerable regions"
+    return list(captured.values())
+
+
+def _summaries(kernel_cls):
+    """(code, descriptor) summaries of a live kernel class, re-inferred
+    from its defining module's source."""
+    module = inspect.getmodule(kernel_cls)
+    tree = ast.parse(inspect.getsource(module))
+    for cls in kernel_classes(tree):
+        if cls.name == kernel_cls.__name__:
+            return summarize_kernel_class(cls, tree)
+    raise AssertionError(f"no kernel class {kernel_cls.__name__} in "
+                         f"{module.__name__}")
+
+
+def _concrete(kernel):
+    """The kernel's own touch lists in evaluate_summary's vocabulary."""
+    return [[("W" if need >= WRITE else "R", page) for need, page in step]
+            for step in kernel.touches]
+
+
+_NEED = {"R": 1, "W": 2}
+
+
+def _first_touch(step):
+    """First-touch normalization of one step: a repeat touch of a page
+    at a dominated mode is a warm replay (it can never fault), so both
+    the hand-merged descriptor spans and the interp body's abutting
+    row reads reduce to the same canonical list."""
+    out, seen = [], {}
+    for mode, page in step:
+        if seen.get(page, 0) >= _NEED[mode]:
+            continue
+        seen[page] = _NEED[mode]
+        out.append((mode, page))
+    return out
+
+
+# --- static inference vs. the live touch lists -------------------------------
+
+
+@pytest.mark.parametrize("app_name", APPS)
+def test_inferred_summaries_match_live_touch_lists(app_name):
+    """Both inferred summaries — from interp (the ground truth) and
+    from the descriptor construction — instantiate to exactly the
+    per-step page lists the executor replays, for every kernel
+    instance a real run constructs."""
+    kernels = _capture(app_name)
+    cache = {}
+    for kernel in kernels:
+        cls = type(kernel)
+        if cls not in cache:
+            cache[cls] = _summaries(cls)
+        code, desc = cache[cls]
+        expected = [_first_touch(s) for s in _concrete(kernel)]
+        got_code = [_first_touch(s) for s in
+                    evaluate_summary(code, kernel)]
+        got_desc = [_first_touch(s) for s in
+                    evaluate_summary(desc, kernel)]
+        assert got_code == expected, \
+            f"{cls.__name__}: interp summary diverges"
+        assert got_desc == expected, \
+            f"{cls.__name__}: descriptor summary diverges"
+
+
+@pytest.mark.parametrize("app_name", APPS)
+def test_descriptor_round_trips_exact_touch_lists(app_name):
+    """Satellite: every committed kernel's ``describe()`` output parses
+    back into the exact span lists the executor replays."""
+    for kernel in _capture(app_name):
+        desc = kernel.describe()
+        assert desc.to_touches() == [list(step) for step in
+                                     kernel.touches]
+        assert desc.n == kernel.n
+
+
+# --- dynamic fault traces ----------------------------------------------------
+
+
+def test_replayed_faults_land_inside_inferred_summaries():
+    """Every fault the batched executor replays while driving a region
+    hits a (mode, page) the symbolic summary predicted for that
+    kernel. Run on the clustered placement so regions actually fault
+    (remote pages, invalidations between iterations)."""
+    faults = []
+    current = [None]
+
+    orig_drive = LoweredRun.drive
+    orig_cont = LoweredRun._continue
+
+    def drive(self, sp):
+        current[0] = self.kernel
+        try:
+            orig_drive(self, sp)
+        finally:
+            current[0] = None
+
+    def cont(self):
+        current[0] = self.kernel
+        try:
+            orig_cont(self)
+        finally:
+            current[0] = None
+
+    orig_read = Cashmere2L.read_fault
+    orig_write = Cashmere2L.write_fault
+
+    def read_fault(self, proc, st, page):
+        if current[0] is not None:
+            faults.append((current[0], "R", page))
+        return orig_read(self, proc, st, page)
+
+    def write_fault(self, proc, st, page):
+        if current[0] is not None:
+            faults.append((current[0], "W", page))
+        return orig_write(self, proc, st, page)
+
+    LoweredRun.drive = drive
+    LoweredRun._continue = cont
+    Cashmere2L.read_fault = read_fault
+    Cashmere2L.write_fault = write_fault
+    try:
+        kernels = []
+        for app_name in ("SOR", "Water", "LU", "Gauss"):
+            kernels.extend(_capture(app_name, cfg=SMALL))
+    finally:
+        LoweredRun.drive = orig_drive
+        LoweredRun._continue = orig_cont
+        Cashmere2L.read_fault = orig_read
+        Cashmere2L.write_fault = orig_write
+
+    assert faults, "no region faults replayed on the clustered run"
+    predicted = {}
+    cache = {}
+    for kernel, mode, page in faults:
+        if id(kernel) not in predicted:
+            cls = type(kernel)
+            if cls not in cache:
+                cache[cls] = _summaries(cls)[0]  # interp = ground truth
+            predicted[id(kernel)] = {
+                t for step in evaluate_summary(cache[cls], kernel)
+                for t in step}
+        assert (mode, page) in predicted[id(kernel)], \
+            (type(kernel).__name__, mode, page)
+
+
+# --- seeded descriptor mutations --------------------------------------------
+
+
+_K = frozenset({"K001", "K002", "K003", "K004"})
+
+
+def _mutated_sor_rules(old, new):
+    import repro.apps.sor as sor_mod
+    src = inspect.getsource(sor_mod)
+    mutated = src.replace(old, new)
+    assert mutated != src, "mutation did not apply"
+    active, _ = lint_source(mutated, "sor.py", _K)
+    return {d.rule for d in active}
+
+
+def test_pristine_sor_is_clean():
+    import repro.apps.sor as sor_mod
+    active, _ = lint_source(inspect.getsource(sor_mod), "sor.py", _K)
+    assert active == []
+
+
+def test_shrunk_read_span_is_k002():
+    """Dropping most of the down-row read under-approximates: the
+    executor would skip faults the interp body takes. The dangerous
+    direction must be K002."""
+    rules = _mutated_sor_rules(
+        "base + halfc, base + 2 * halfc)",
+        "base + halfc, base + halfc + 1)")
+    assert "K002" in rules
+
+
+def test_swapped_touch_order_is_k001():
+    """Descriptor lists the destination write before the source reads;
+    the interp body reads first — fault replay order would diverge."""
+    rules = _mutated_sor_rules(
+        "            step += [(WRITE, p) for p in self.span_pages(\n"
+        "                dst, base, base + halfc)]\n"
+        "            touches.append(step)",
+        "            step = [(WRITE, p) for p in self.span_pages(\n"
+        "                dst, base, base + halfc)] + step\n"
+        "            touches.append(step)")
+    assert "K001" in rules
+    assert "K002" not in rules
+
+
+def test_wrong_mode_is_k001():
+    """Declaring the destination-row touch as READ keeps the span but
+    replays the wrong fault kind."""
+    rules = _mutated_sor_rules("step += [(WRITE, p)",
+                               "step += [(READ, p)")
+    assert "K001" in rules
